@@ -1,0 +1,69 @@
+// Command amr-profile explores the AMR application model of §2: it prints
+// generated working-set evolutions (Fig. 1), speed-up curves (Fig. 2), and
+// the derived per-profile quantities (n_eq, A(e_t), target allocations).
+//
+// Usage:
+//
+//	amr-profile -seed 7                 # one profile + its analysis
+//	amr-profile -seed 7 -series        # full 1000-step series, gnuplot columns
+//	amr-profile -speedup               # model curves for the Fig. 2 sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"coormv2/internal/amr"
+	"coormv2/internal/stats"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 1, "profile seed")
+		series  = flag.Bool("series", false, "print the normalized evolution series")
+		speedup = flag.Bool("speedup", false, "print speed-up model curves for the Fig. 2 sizes")
+		eff     = flag.Float64("eff", 0.75, "target efficiency for the analysis")
+	)
+	flag.Parse()
+
+	p := amr.DefaultParams
+	if *speedup {
+		fmt.Println("# nodes  then one step-duration column per mesh size (GiB):")
+		fmt.Print("# nodes")
+		for _, s := range amr.Fig2Sizes {
+			fmt.Printf("  %gGiB", s/1024)
+		}
+		fmt.Println()
+		for _, n := range amr.Fig2Nodes {
+			fmt.Printf("%7d", n)
+			for _, s := range amr.Fig2Sizes {
+				fmt.Printf("  %8.3f", p.StepTime(n, s))
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	pr := amr.GenerateProfile(stats.NewRand(*seed), amr.ProfileSteps, amr.DefaultSmax)
+	if *series {
+		fmt.Println("# step  normalized-size(0-1000)")
+		for i, s := range pr {
+			fmt.Printf("%4d  %8.2f\n", i, s/amr.DefaultSmax*1000)
+		}
+		return
+	}
+
+	neq, relErr := p.EquivalentStatic(pr, *eff)
+	fmt.Printf("profile seed %d (%d steps, S_max = %.0f MiB = %.2f TiB)\n",
+		*seed, len(pr), amr.DefaultSmax, amr.DefaultSmax/1024/1024)
+	fmt.Printf("target efficiency:        %.0f%%\n", 100**eff)
+	fmt.Printf("dynamic area A(e_t):      %.4g node·s\n", p.DynamicArea(pr, *eff))
+	fmt.Printf("dynamic end-time:         %.0f s\n", p.DynamicEndTime(pr, *eff))
+	fmt.Printf("equivalent static n_eq:   %d nodes (area error %.4f%%)\n", neq, 100*relErr)
+	fmt.Printf("static end-time (n_eq):   %.0f s (+%.2f%%)\n",
+		p.StaticEndTime(pr, neq), 100*p.EndTimeIncrease(pr, *eff))
+	fmt.Printf("peak target allocation:   %d nodes\n", p.NodesForEfficiency(pr.Max(), *eff))
+	choice := p.StaticChoiceRange(pr, *eff, amr.DefaultNodeMemoryMiB, 1)
+	fmt.Printf("static choice band:       [%d, %d] nodes (memory floor @ %d MiB/node, 110%% area ceiling)\n",
+		choice.MinNodes, choice.MaxNodes, int(amr.DefaultNodeMemoryMiB))
+}

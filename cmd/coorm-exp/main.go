@@ -1,0 +1,313 @@
+// Command coorm-exp regenerates the data behind every quantitative figure
+// of the paper's evaluation. Output is gnuplot-friendly: a "# "-prefixed
+// header line followed by aligned columns.
+//
+// Usage:
+//
+//	coorm-exp -exp fig3                  # one figure, reduced scale
+//	coorm-exp -exp fig9 -full            # paper-scale (1000 steps, 3.16 TiB)
+//	coorm-exp -exp all -full -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"coormv2/internal/amr"
+	"coormv2/internal/experiments"
+	"coormv2/internal/stats"
+	"coormv2/internal/workload"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig9|fig10|fig11|ablation|accounting|replay|all")
+		seed  = flag.Int64("seed", 1, "base random seed")
+		full  = flag.Bool("full", false, "paper scale (1000 steps, 3.16 TiB) instead of the fast reduced scale")
+		steps = flag.Int("steps", 0, "override profile length (0 = scale default)")
+	)
+	flag.Parse()
+
+	scale := scaleFor(*full, *steps)
+	run := func(name string, fn func() error) {
+		fmt.Printf("== %s ==\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "coorm-exp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	all := *exp == "all"
+	matched := all
+	if all || *exp == "fig1" {
+		matched = true
+		run("Fig. 1 — AMR working-set evolutions", func() error { return fig1(*seed, scale) })
+	}
+	if all || *exp == "fig2" {
+		matched = true
+		run("Fig. 2 — speed-up model fit", func() error { return fig2(*seed) })
+	}
+	if all || *exp == "fig3" {
+		matched = true
+		run("Fig. 3 — equivalent static allocation end-time increase", func() error { return fig3(*seed, scale) })
+	}
+	if all || *exp == "fig4" {
+		matched = true
+		run("Fig. 4 — static allocation choices at 75% target efficiency", func() error { return fig4(*seed, scale) })
+	}
+	if all || *exp == "fig9" {
+		matched = true
+		run("Fig. 9 — scheduling with spontaneous updates", func() error { return fig9(*seed, scale) })
+	}
+	if all || *exp == "fig10" {
+		matched = true
+		run("Fig. 10 — scheduling with announced updates", func() error { return fig10(*seed, scale) })
+	}
+	if all || *exp == "fig11" {
+		matched = true
+		run("Fig. 11 — efficient resource filling (two PSAs)", func() error { return fig11(*seed, scale) })
+	}
+	if all || *exp == "ablation" {
+		matched = true
+		run("Ablation — PSA graceful release and window selection", func() error { return ablation(*seed, scale) })
+	}
+	if all || *exp == "accounting" {
+		matched = true
+		run("Accounting — used vs reserved areas (§7 extension)", func() error { return accounting(*seed, scale) })
+	}
+	if all || *exp == "replay" {
+		matched = true
+		run("Replay — synthetic rigid trace with and without a scavenging PSA", func() error { return replay(*seed) })
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "coorm-exp: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+// scale bundles the per-run sizing knobs.
+type scale struct {
+	steps int
+	smax  float64
+	// PSA task durations (Fig. 9/10 use psa1 only).
+	psa1, psa2 float64
+	announces  []float64
+	seeds      []int64
+}
+
+func scaleFor(full bool, stepsOverride int) scale {
+	s := scale{}
+	if full {
+		s.steps = amr.ProfileSteps
+		s.smax = amr.DefaultSmax
+		s.psa1, s.psa2 = 600, 60
+		s.announces = []float64{0, 100, 200, 300, 400, 500, 550, 600, 650, 700}
+		s.seeds = []int64{1, 2, 3, 4, 5}
+	} else {
+		s.steps = 60
+		s.smax = 50 * 1024
+		s.psa1, s.psa2 = 120, 12
+		s.announces = []float64{0, 30, 60, 90, 110, 120, 130, 140}
+		s.seeds = []int64{1, 2, 3}
+	}
+	if stepsOverride > 0 {
+		s.steps = stepsOverride
+	}
+	return s
+}
+
+func f(v float64, prec int) string { return strconv.FormatFloat(v, 'f', prec, 64) }
+func g(v float64) string           { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+func fig1(seed int64, sc scale) error {
+	profiles := experiments.Fig1(experiments.Fig1Config{
+		Seeds: []int64{seed, seed + 1, seed + 2, seed + 3},
+		Steps: sc.steps,
+	})
+	header := []string{"step"}
+	for _, p := range profiles {
+		header = append(header, fmt.Sprintf("seed%d", p.Seed))
+	}
+	rows := make([][]string, sc.steps)
+	for i := 0; i < sc.steps; i++ {
+		row := []string{strconv.Itoa(i)}
+		for _, p := range profiles {
+			row = append(row, f(p.Series[i], 1))
+		}
+		rows[i] = row
+	}
+	fmt.Print(experiments.FormatTable(header, rows))
+	return nil
+}
+
+func fig2(seed int64) error {
+	res, err := experiments.Fig2(seed, 0.05)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fitted: A=%.4g B=%.4g C=%.4g D=%.4g (paper: A=7.26e-3 B=1.23e-4 C=1.13e-6 D=1.38)\n",
+		res.Fitted.A, res.Fitted.B, res.Fitted.C, res.Fitted.D)
+	fmt.Printf("max relative error: %.2f%% (paper: <15%%)\n", 100*res.MaxRelError)
+	var rows [][]string
+	for _, r := range res.Rows {
+		rows = append(rows, []string{
+			strconv.Itoa(r.Nodes), f(r.SizeMiB/1024, 0), f(r.Measured, 3), f(r.Predicted, 3),
+		})
+	}
+	fmt.Print(experiments.FormatTable([]string{"nodes", "size-GiB", "measured-s", "model-s"}, rows))
+	return nil
+}
+
+func fig3(seed int64, sc scale) error {
+	rows := experiments.Fig3(seed, sc.steps, nil)
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{f(r.TargetEff, 2), strconv.Itoa(r.Neq), f(r.EndTimeIncreasePct, 3)})
+	}
+	fmt.Print(experiments.FormatTable([]string{"target-eff", "n_eq", "end-time-increase-%"}, out))
+	return nil
+}
+
+func fig4(seed int64, sc scale) error {
+	rows := experiments.Fig4(seed, sc.steps, nil, 0)
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			g(r.RelativeSize), strconv.Itoa(r.MinNodes), strconv.Itoa(r.MaxNodes),
+			strconv.FormatBool(r.Feasible),
+		})
+	}
+	fmt.Print(experiments.FormatTable([]string{"rel-size", "min-nodes(mem)", "max-nodes(area)", "feasible"}, out))
+	return nil
+}
+
+func fig9(seed int64, sc scale) error {
+	rows, err := experiments.Fig9(experiments.Fig9Config{
+		Seed: seed, Steps: sc.steps, Smax: sc.smax, PSATaskDur: sc.psa1,
+	})
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			f(r.Overcommit, 3), strconv.Itoa(r.Nodes),
+			g(r.StaticArea), g(r.DynamicArea), g(r.PSAWaste),
+		})
+	}
+	fmt.Print(experiments.FormatTable(
+		[]string{"overcommit", "nodes", "static-node·s", "dynamic-node·s", "psa-waste-node·s"}, out))
+	return nil
+}
+
+func fig10(seed int64, sc scale) error {
+	rows, err := experiments.Fig10(experiments.Fig10Config{
+		AnnounceIntervals: sc.announces,
+		Seed:              seed, Steps: sc.steps, Smax: sc.smax, PSATaskDur: sc.psa1,
+	})
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			f(r.AnnounceInterval, 0), f(r.EndTimeIncreasePct, 2),
+			f(r.PSAWastePct, 2), f(r.UsedResourcesPct, 2),
+		})
+	}
+	fmt.Print(experiments.FormatTable(
+		[]string{"announce-s", "amr-endtime-increase-%", "psa-waste-%", "used-resources-%"}, out))
+	return nil
+}
+
+func fig11(seed int64, sc scale) error {
+	seeds := make([]int64, len(sc.seeds))
+	for i, s := range sc.seeds {
+		seeds[i] = s + seed - 1
+	}
+	rows, err := experiments.Fig11(experiments.Fig11Config{
+		AnnounceIntervals: sc.announces,
+		Seeds:             seeds,
+		Steps:             sc.steps, Smax: sc.smax,
+		PSA1TaskDur: sc.psa1, PSA2TaskDur: sc.psa2,
+	})
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			f(r.AnnounceInterval, 0), f(r.FillingPct, 2), f(r.StrictPct, 2),
+		})
+	}
+	fmt.Print(experiments.FormatTable(
+		[]string{"announce-s", "filling-used-%", "strict-used-%"}, out))
+	return nil
+}
+
+func ablation(seed int64, sc scale) error {
+	rows, err := experiments.AblationPSA(experiments.AblationConfig{
+		Seed: seed, Steps: sc.steps, Smax: sc.smax,
+		AnnounceInterval: sc.psa1 / 2, PSATaskDur: sc.psa1,
+	})
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Variant, g(r.PSAWaste), f(r.UsedResourcesPct, 2), f(r.AMRRuntime, 0),
+		})
+	}
+	fmt.Print(experiments.FormatTable(
+		[]string{"variant", "psa-waste-node·s", "used-%", "amr-runtime-s"}, out))
+	return nil
+}
+
+func replay(seed int64) error {
+	jobs := workload.Synthetic(stats.NewRand(seed), workload.SyntheticConfig{
+		Jobs: 100, MaxNodes: 32, MeanInterArr: 180, MeanRuntime: 1800,
+		PowerOfTwoBias: 0.5,
+	})
+	st := workload.Summarize(jobs)
+	fmt.Printf("trace: %d jobs, %.3g node·s, max %d nodes\n", st.Jobs, st.TotalArea, st.MaxNodes)
+	var out [][]string
+	for _, fill := range []bool{false, true} {
+		res, err := experiments.RunReplay(experiments.ReplayConfig{
+			Jobs: jobs, Nodes: 64, FillWithPSA: fill, PSATaskDur: 300,
+		})
+		if err != nil {
+			return err
+		}
+		name := "rigid only"
+		if fill {
+			name = "rigid + scavenging PSA"
+		}
+		out = append(out, []string{
+			name, f(res.MeanWait, 1), f(res.MaxWait, 1), f(res.Makespan, 0),
+			f(100*res.Utilization, 2), f(100*res.UtilizationWithPSA, 2),
+		})
+	}
+	fmt.Print(experiments.FormatTable(
+		[]string{"setup", "mean-wait-s", "max-wait-s", "makespan-s", "rigid-util-%", "total-util-%"}, out))
+	return nil
+}
+
+func accounting(seed int64, sc scale) error {
+	rows, err := experiments.Accounting(seed, sc.steps, sc.smax, sc.psa1)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.App, g(r.UsedArea), g(r.PreAllocArea), g(r.ReservedIdle), g(r.Waste),
+		})
+	}
+	fmt.Print(experiments.FormatTable(
+		[]string{"application", "used-node·s", "pre-alloc-node·s", "reserved-idle-node·s", "waste-node·s"}, out))
+	return nil
+}

@@ -1,0 +1,117 @@
+// Command coormctl is a small CLI client for a coormd daemon: it submits a
+// rigid job and reports its lifecycle, or watches the views the RMS pushes.
+//
+// Usage:
+//
+//	coormctl -addr 127.0.0.1:7777 run -cluster main -n 8 -d 30
+//	coormctl -addr 127.0.0.1:7777 watch -for 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"coormv2/internal/request"
+	"coormv2/internal/rms"
+	"coormv2/internal/transport"
+	"coormv2/internal/view"
+)
+
+// cliHandler prints notifications.
+type cliHandler struct {
+	started chan []int
+	verbose bool
+}
+
+func (h *cliHandler) OnViews(np, p view.View) {
+	if h.verbose {
+		fmt.Printf("views: non-preemptive %s | preemptive %s\n", np, p)
+	}
+}
+
+func (h *cliHandler) OnStart(id request.ID, nodeIDs []int) {
+	fmt.Printf("request %d started on nodes %v\n", id, nodeIDs)
+	select {
+	case h.started <- nodeIDs:
+	default:
+	}
+}
+
+func (h *cliHandler) OnKill(reason string) {
+	fmt.Printf("killed by RMS: %s\n", reason)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7777", "daemon address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "coormctl: need a subcommand: run | watch")
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "run":
+		runCmd(*addr, args[1:])
+	case "watch":
+		watchCmd(*addr, args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "coormctl: unknown subcommand %q\n", args[0])
+		os.Exit(2)
+	}
+}
+
+func runCmd(addr string, args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	cluster := fs.String("cluster", "default", "cluster to run on")
+	n := fs.Int("n", 1, "node count")
+	d := fs.Float64("d", 60, "duration in seconds")
+	fs.Parse(args)
+
+	h := &cliHandler{started: make(chan []int, 1)}
+	c, err := transport.Dial(addr, h)
+	if err != nil {
+		log.Fatalf("coormctl: %v", err)
+	}
+	defer c.Close()
+	fmt.Printf("connected as application %d\n", c.AppID())
+
+	id, err := c.Request(rms.RequestSpec{
+		Cluster: view.ClusterID(*cluster), N: *n, Duration: *d, Type: request.NonPreempt,
+	})
+	if err != nil {
+		log.Fatalf("coormctl: request: %v", err)
+	}
+	fmt.Printf("submitted rigid request %d (%d nodes, %gs)\n", id, *n, *d)
+
+	select {
+	case <-h.started:
+	case <-time.After(5 * time.Minute):
+		log.Fatal("coormctl: timed out waiting for the allocation")
+	}
+	fmt.Println("running; waiting for the allocation to end...")
+	time.Sleep(time.Duration(*d * float64(time.Second)))
+	if err := c.Done(id, nil); err != nil {
+		// The RMS may have expired the allocation already; not fatal.
+		fmt.Printf("done: %v\n", err)
+	}
+	fmt.Println("finished")
+}
+
+func watchCmd(addr string, args []string) {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	dur := fs.Float64("for", 30, "seconds to watch")
+	fs.Parse(args)
+
+	h := &cliHandler{started: make(chan []int, 1), verbose: true}
+	c, err := transport.Dial(addr, h)
+	if err != nil {
+		log.Fatalf("coormctl: %v", err)
+	}
+	defer c.Close()
+	fmt.Printf("connected as application %d; watching views for %gs\n", c.AppID(), *dur)
+	time.Sleep(time.Duration(*dur * float64(time.Second)))
+}

@@ -1,0 +1,88 @@
+// Command coormd runs a CooRMv2 RMS daemon over TCP — the "real-life
+// prototype RMS" counterpart of the simulator (§5). Applications connect
+// with the newline-delimited JSON protocol of internal/proto (see
+// cmd/coormctl and examples/netdemo).
+//
+// Usage:
+//
+//	coormd -listen :7777 -cluster main=128 -cluster gpu=16 -interval 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"coormv2/internal/clock"
+	"coormv2/internal/core"
+	"coormv2/internal/metrics"
+	"coormv2/internal/rms"
+	"coormv2/internal/transport"
+	"coormv2/internal/view"
+)
+
+// clusterFlags collects repeated -cluster name=nodes flags.
+type clusterFlags map[view.ClusterID]int
+
+func (c clusterFlags) String() string {
+	var parts []string
+	for cid, n := range c {
+		parts = append(parts, fmt.Sprintf("%s=%d", cid, n))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (c clusterFlags) Set(s string) error {
+	name, nodesStr, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=nodes, got %q", s)
+	}
+	n, err := strconv.Atoi(nodesStr)
+	if err != nil || n <= 0 {
+		return fmt.Errorf("invalid node count in %q", s)
+	}
+	c[view.ClusterID(name)] = n
+	return nil
+}
+
+func main() {
+	clusters := clusterFlags{}
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7777", "TCP listen address")
+		interval = flag.Float64("interval", 1, "re-scheduling interval in seconds (§3.2)")
+		grace    = flag.Float64("grace", 0, "preemption grace period in seconds (0 = 5×interval)")
+		strict   = flag.Bool("strict", false, "use strict equi-partitioning instead of filling")
+	)
+	flag.Var(clusters, "cluster", "cluster as name=nodes (repeatable)")
+	flag.Parse()
+
+	if len(clusters) == 0 {
+		clusters["default"] = 64
+	}
+	policy := core.EquiPartitionFilling
+	if *strict {
+		policy = core.StrictEquiPartition
+	}
+	srv := rms.NewServer(rms.Config{
+		Clusters:        clusters,
+		ReschedInterval: *interval,
+		GracePeriod:     *grace,
+		Clock:           clock.NewRealClock(),
+		Policy:          policy,
+		Metrics:         metrics.NewRecorder(),
+	})
+	d := transport.NewServer(srv)
+	addr, err := d.Listen(*listen)
+	if err != nil {
+		log.Fatalf("coormd: %v", err)
+	}
+	log.Printf("coormd: serving %s on %s (policy %s, interval %gs)",
+		clusters.String(), addr, policy, *interval)
+	if err := d.Serve(); err != nil {
+		log.Printf("coormd: %v", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,56 @@
+// two-psas: the resource-filling experiment of §5.4 as a runnable program.
+//
+// Two parameter-sweep applications share the leftovers of an AMR
+// application: PSA1 runs long tasks (600 s) and cannot exploit short
+// availability windows; PSA2 runs short tasks (60 s) and can. Under
+// CooRMv2's equi-partitioning *with filling*, PSA2 picks up what PSA1
+// declines; under the strict-equi-partitioning baseline it may not.
+//
+// Run with: go run ./examples/two-psas [-announce 300]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coormv2/internal/apps"
+	"coormv2/internal/core"
+	"coormv2/internal/experiments"
+)
+
+func main() {
+	var (
+		announce = flag.Float64("announce", 300, "AMR announce interval in seconds")
+		seed     = flag.Int64("seed", 1, "AMR profile seed")
+		steps    = flag.Int("steps", 200, "AMR profile length (paper: 1000)")
+	)
+	flag.Parse()
+
+	fmt.Printf("One AMR (announce %gs) + PSA1 (d_task 600 s) + PSA2 (d_task 60 s)\n\n", *announce)
+
+	for _, policy := range []core.PreemptPolicy{
+		core.StrictEquiPartition,
+		core.EquiPartitionFilling,
+	} {
+		res, err := experiments.RunScenario(experiments.ScenarioConfig{
+			Seed: *seed, Steps: *steps,
+			TargetEff: 0.75, Overcommit: 1, Mode: apps.NEADynamic,
+			AnnounceInterval: *announce,
+			PSATaskDurations: []float64{600, 60},
+			Policy:           policy,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "two-psas: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s:\n", policy)
+		fmt.Printf("  PSA1 (600s tasks): %10.0f node·s useful, %6.0f wasted\n",
+			res.PSAArea[0]-res.PSAWaste[0], res.PSAWaste[0])
+		fmt.Printf("  PSA2 ( 60s tasks): %10.0f node·s useful, %6.0f wasted\n",
+			res.PSAArea[1]-res.PSAWaste[1], res.PSAWaste[1])
+		fmt.Printf("  used resources:    %10.2f%%\n\n", 100*res.UsedFraction)
+	}
+	fmt.Println("Filling lets the short-task PSA exploit the holes the long-task PSA")
+	fmt.Println("declines, which is exactly the gain Fig. 11 of the paper reports.")
+}

@@ -1,0 +1,62 @@
+// Package apps implements the application behaviours of §4 against the
+// CooRMv2 protocol: rigid, moldable, malleable, fully-predictably evolving,
+// non-predictably evolving (the synthetic AMR of the evaluation) and the
+// malleable parameter-sweep application (PSA).
+//
+// Applications are event-driven: they react to OnViews/OnStart/OnKill
+// notifications and drive their internal progress with clock timers, so the
+// same code runs inside the discrete-event simulator and against the TCP
+// client. Inside the simulator every callback runs on the event loop, which
+// keeps runs deterministic.
+package apps
+
+import (
+	"coormv2/internal/clock"
+	"coormv2/internal/request"
+	"coormv2/internal/rms"
+)
+
+// Session is the application-side handle to the RMS. Both *rms.Session
+// (in-process, used by the simulator) and *transport.Client (TCP) satisfy
+// it.
+type Session interface {
+	Request(spec rms.RequestSpec) (request.ID, error)
+	Done(id request.ID, released []int) error
+}
+
+// base carries the plumbing shared by all applications.
+type base struct {
+	clk  clock.Clock
+	sess Session
+
+	killed     bool
+	killReason string
+}
+
+// Attach hands the application its session. It must be called right after
+// Connect and before the event loop runs.
+func (b *base) Attach(s Session) { b.sess = s }
+
+// Killed reports whether the RMS terminated the session, and why.
+func (b *base) Killed() (bool, string) { return b.killed, b.killReason }
+
+// OnKill implements rms.AppHandler.
+func (b *base) OnKill(reason string) {
+	b.killed = true
+	b.killReason = reason
+}
+
+// now returns the current time.
+func (b *base) now() float64 { return b.clk.Now() }
+
+// lastN returns the last k elements of ids (the IDs an application gives
+// back when shrinking; keeping the lowest IDs makes traces stable).
+func lastN(ids []int, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	if k >= len(ids) {
+		return ids
+	}
+	return ids[len(ids)-k:]
+}

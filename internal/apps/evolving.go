@@ -1,0 +1,107 @@
+package apps
+
+import (
+	"fmt"
+
+	"coormv2/internal/clock"
+	"coormv2/internal/request"
+	"coormv2/internal/rms"
+	"coormv2/internal/view"
+)
+
+// Segment is one stage of a fully-predictably evolving application:
+// n nodes for a given duration.
+type Segment struct {
+	N        int
+	Duration float64
+}
+
+// PredictableEvolving is the fully-predictably evolving application of §4:
+// it "sends several non-preemptible requests linked using the NEXT
+// constraint. During its execution, if from one request to another the
+// node-count decreases, it has to call done with the node IDs it chooses to
+// free. Otherwise, if the node-count increases, the RMS sends it the new
+// node IDs."
+type PredictableEvolving struct {
+	base
+
+	Cluster  view.ClusterID
+	Segments []Segment
+
+	reqIDs  []request.ID
+	started []bool
+	held    []int
+
+	// Starts records when each segment actually started.
+	Starts []float64
+}
+
+// NewPredictableEvolving creates the application.
+func NewPredictableEvolving(clk clock.Clock, cid view.ClusterID, segs []Segment) *PredictableEvolving {
+	return &PredictableEvolving{
+		base:     base{clk: clk},
+		Cluster:  cid,
+		Segments: segs,
+		started:  make([]bool, len(segs)),
+		Starts:   make([]float64, len(segs)),
+	}
+}
+
+// Submit sends the whole NEXT chain up front — the application's evolution
+// is known at start, so the RMS can plan for all of it.
+func (p *PredictableEvolving) Submit() error {
+	if len(p.Segments) == 0 {
+		return fmt.Errorf("apps: no segments")
+	}
+	var prev request.ID
+	for i, seg := range p.Segments {
+		spec := rms.RequestSpec{
+			Cluster: p.Cluster, N: seg.N, Duration: seg.Duration, Type: request.NonPreempt,
+		}
+		if i > 0 {
+			spec.RelatedHow = request.Next
+			spec.RelatedTo = prev
+		}
+		id, err := p.sess.Request(spec)
+		if err != nil {
+			return err
+		}
+		p.reqIDs = append(p.reqIDs, id)
+		prev = id
+	}
+	return nil
+}
+
+// OnViews is a no-op: the evolution was exported to the RMS at submit time.
+func (p *PredictableEvolving) OnViews(_, _ view.View) {}
+
+// OnStart tracks segment starts and, before a shrinking transition, calls
+// done with the node IDs the application chooses to free.
+func (p *PredictableEvolving) OnStart(id request.ID, nodeIDs []int) {
+	for i, rid := range p.reqIDs {
+		if rid != id {
+			continue
+		}
+		p.started[i] = true
+		p.Starts[i] = p.now()
+		p.held = nodeIDs
+		if i+1 < len(p.Segments) && p.Segments[i+1].N < p.Segments[i].N {
+			// Shrinking transition: release the chosen IDs exactly at the
+			// end of this segment.
+			release := p.Segments[i].N - p.Segments[i+1].N
+			segIdx := i
+			p.clk.AfterFunc(p.Segments[i].Duration, "evolving.shrink", func() {
+				_ = p.sess.Done(p.reqIDs[segIdx], lastN(p.held, release))
+			})
+		}
+		return
+	}
+}
+
+// SegmentStarted reports whether segment i has started.
+func (p *PredictableEvolving) SegmentStarted(i int) bool {
+	return i < len(p.started) && p.started[i]
+}
+
+// Held returns the node IDs currently allocated.
+func (p *PredictableEvolving) Held() []int { return p.held }

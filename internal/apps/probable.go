@@ -1,0 +1,234 @@
+package apps
+
+import (
+	"fmt"
+
+	"coormv2/internal/amr"
+	"coormv2/internal/clock"
+	"coormv2/internal/request"
+	"coormv2/internal/rms"
+	"coormv2/internal/view"
+)
+
+// ProbableNEAConfig parametrizes the probable-execution NEA of §4: the
+// application "sends a 'good-enough' pre-allocation and optimistically
+// assumes never to outgrow it. If at some point the pre-allocation is
+// insufficient ... the application has to be able to checkpoint. It can
+// later resume its computations by submitting a new, larger
+// pre-allocation."
+type ProbableNEAConfig struct {
+	Cluster   view.ClusterID
+	Profile   amr.Profile
+	Params    amr.SpeedupParams
+	TargetEff float64
+	// InitialPreAllocN is the optimistic first guess.
+	InitialPreAllocN int
+	// GrowFactor scales the new pre-allocation after an outgrow
+	// (relative to the node-count that did not fit). Default 1.5.
+	GrowFactor float64
+	// CheckpointCost is the time (s) spent writing a checkpoint before
+	// releasing resources, and again restoring it after resuming.
+	CheckpointCost float64
+	// Horizon is the pre-allocation duration (default 1e8 s).
+	Horizon float64
+}
+
+// ProbableNEA is a non-predictably evolving application using the probable
+// execution strategy. Compare with NEA (sure execution).
+type ProbableNEA struct {
+	base
+	cfg ProbableNEAConfig
+
+	paID    request.ID
+	curReq  request.ID
+	curN    int
+	preN    int
+	step    int
+	waiting bool // between checkpoint and restart
+
+	finished bool
+
+	// Resubmissions counts how many times the application had to
+	// checkpoint and requeue with a larger pre-allocation.
+	Resubmissions int
+	// CheckpointTime is the total time spent checkpointing/restoring.
+	CheckpointTime float64
+
+	StartTime float64
+	EndTime   float64
+	Err       error
+	OnFinish  func()
+}
+
+// NewProbableNEA creates the application.
+func NewProbableNEA(clk clock.Clock, cfg ProbableNEAConfig) *ProbableNEA {
+	if cfg.GrowFactor <= 1 {
+		cfg.GrowFactor = 1.5
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 1e8
+	}
+	if cfg.TargetEff <= 0 {
+		cfg.TargetEff = 0.75
+	}
+	return &ProbableNEA{base: base{clk: clk}, cfg: cfg}
+}
+
+// Finished reports completion.
+func (a *ProbableNEA) Finished() bool { return a.finished }
+
+// Step returns the current step index.
+func (a *ProbableNEA) Step() int { return a.step }
+
+// desired returns the unclamped target node count for a step — unlike the
+// sure-execution NEA, the probable one may find its pre-allocation too
+// small.
+func (a *ProbableNEA) desired(step int) int {
+	n := a.cfg.Params.NodesForEfficiency(a.cfg.Profile[step], a.cfg.TargetEff)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Submit sends the initial optimistic pre-allocation.
+func (a *ProbableNEA) Submit() error {
+	if len(a.cfg.Profile) == 0 {
+		return fmt.Errorf("apps: ProbableNEA needs a profile")
+	}
+	if a.cfg.InitialPreAllocN < 1 {
+		return fmt.Errorf("apps: ProbableNEA needs a positive initial pre-allocation")
+	}
+	a.preN = a.cfg.InitialPreAllocN
+	return a.submitChain()
+}
+
+// submitChain sends a pre-allocation of preN plus the initial allocation
+// for the current step, clamped to the pre-allocation.
+func (a *ProbableNEA) submitChain() error {
+	pa, err := a.sess.Request(rms.RequestSpec{
+		Cluster: a.cfg.Cluster, N: a.preN, Duration: a.cfg.Horizon, Type: request.PreAlloc,
+	})
+	if err != nil {
+		return err
+	}
+	n := a.desired(a.step)
+	if n > a.preN {
+		n = a.preN
+	}
+	r, err := a.sess.Request(rms.RequestSpec{
+		Cluster: a.cfg.Cluster, N: n, Duration: a.cfg.Horizon,
+		Type: request.NonPreempt, RelatedHow: request.Coalloc, RelatedTo: pa,
+	})
+	if err != nil {
+		return err
+	}
+	a.paID, a.curReq, a.curN = pa, r, n
+	a.waiting = true
+	return nil
+}
+
+// OnViews is ignored (like the sure-execution NEA, the application relies
+// on its pre-allocation).
+func (a *ProbableNEA) OnViews(_, _ view.View) {}
+
+// OnStart drives the state machine.
+func (a *ProbableNEA) OnStart(id request.ID, _ []int) {
+	if id != a.curReq {
+		return
+	}
+	if a.waiting {
+		a.waiting = false
+		if a.StartTime == 0 && a.step == 0 {
+			a.StartTime = a.now()
+		}
+		restore := 0.0
+		if a.Resubmissions > 0 {
+			restore = a.cfg.CheckpointCost // restoring the checkpoint
+			a.CheckpointTime += restore
+		}
+		a.clk.AfterFunc(restore, "probable.restore", a.runStep)
+		return
+	}
+	// A spontaneous update inside the pre-allocation completed.
+	a.runStep()
+}
+
+// runStep executes the current step.
+func (a *ProbableNEA) runStep() {
+	if a.finished || a.killed {
+		return
+	}
+	if a.step >= len(a.cfg.Profile) {
+		a.finish()
+		return
+	}
+	dur := a.cfg.Params.StepTime(a.curN, a.cfg.Profile[a.step])
+	a.clk.AfterFunc(dur, "probable.step", func() {
+		a.step++
+		if a.step >= len(a.cfg.Profile) {
+			a.finish()
+			return
+		}
+		a.advance()
+	})
+}
+
+// advance decides what to do before the next step: keep going, update
+// inside the pre-allocation, or checkpoint and resubmit with a larger one.
+func (a *ProbableNEA) advance() {
+	want := a.desired(a.step)
+	if want > a.preN {
+		// Outgrown: checkpoint, release everything, resubmit bigger
+		// (the RMS "might have placed it at the end of the waiting
+		// queue", §4 — the new pre-allocation competes like any other).
+		a.Resubmissions++
+		a.CheckpointTime += a.cfg.CheckpointCost
+		cur, pa := a.curReq, a.paID
+		a.clk.AfterFunc(a.cfg.CheckpointCost, "probable.checkpoint", func() {
+			if err := a.sess.Done(cur, nil); err != nil {
+				a.Err = err
+				return
+			}
+			if err := a.sess.Done(pa, nil); err != nil {
+				a.Err = err
+				return
+			}
+			a.preN = int(float64(want) * a.cfg.GrowFactor)
+			if err := a.submitChain(); err != nil {
+				a.Err = err
+			}
+		})
+		return
+	}
+	if want == a.curN {
+		a.runStep()
+		return
+	}
+	// Spontaneous update inside the pre-allocation (guaranteed).
+	newReq, err := a.sess.Request(rms.RequestSpec{
+		Cluster: a.cfg.Cluster, N: want, Duration: a.cfg.Horizon,
+		Type: request.NonPreempt, RelatedHow: request.Next, RelatedTo: a.curReq,
+	})
+	if err != nil {
+		a.Err = err
+		return
+	}
+	if err := a.sess.Done(a.curReq, nil); err != nil {
+		a.Err = err
+		return
+	}
+	a.curReq = newReq
+	a.curN = want
+	// The step resumes when OnStart delivers the new allocation.
+}
+
+func (a *ProbableNEA) finish() {
+	a.finished = true
+	a.EndTime = a.now()
+	_ = a.sess.Done(a.curReq, nil)
+	_ = a.sess.Done(a.paID, nil)
+	if a.OnFinish != nil {
+		a.OnFinish()
+	}
+}

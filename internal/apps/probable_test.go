@@ -1,0 +1,98 @@
+package apps
+
+import (
+	"testing"
+
+	"coormv2/internal/amr"
+	"coormv2/internal/clock"
+	"coormv2/internal/core"
+)
+
+func TestProbableNEAOutgrowsAndResubmits(t *testing.T) {
+	v := newEnv(400, core.EquiPartitionFilling)
+	prof := testProfile(11, 30) // grows toward ~80 target nodes
+	a := NewProbableNEA(clock.SimClock{E: v.e}, ProbableNEAConfig{
+		Cluster: c0, Profile: prof, Params: amr.DefaultParams,
+		TargetEff:        0.75,
+		InitialPreAllocN: 5, // deliberately far too small
+		CheckpointCost:   10,
+	})
+	v.connect(a, a)
+	if err := a.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	v.e.RunAll()
+	if a.Err != nil {
+		t.Fatal(a.Err)
+	}
+	if !a.Finished() {
+		t.Fatalf("did not finish: step=%d", a.Step())
+	}
+	if a.Resubmissions == 0 {
+		t.Error("a 5-node pre-allocation must be outgrown")
+	}
+	if a.CheckpointTime == 0 {
+		t.Error("checkpoint time not accounted")
+	}
+	// All resources are returned at the end.
+	if got := v.rec.Current(1); got != 0 {
+		t.Errorf("still holding %d nodes", got)
+	}
+}
+
+func TestProbableNEASufficientPreAllocNoResubmit(t *testing.T) {
+	v := newEnv(400, core.EquiPartitionFilling)
+	prof := testProfile(12, 25)
+	peak := amr.DefaultParams.NodesForEfficiency(prof.Max(), 0.75)
+	a := NewProbableNEA(clock.SimClock{E: v.e}, ProbableNEAConfig{
+		Cluster: c0, Profile: prof, Params: amr.DefaultParams,
+		TargetEff:        0.75,
+		InitialPreAllocN: peak + 10, // generous: never outgrown
+		CheckpointCost:   10,
+	})
+	v.connect(a, a)
+	if err := a.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	v.e.RunAll()
+	if a.Err != nil {
+		t.Fatal(a.Err)
+	}
+	if !a.Finished() {
+		t.Fatal("did not finish")
+	}
+	if a.Resubmissions != 0 {
+		t.Errorf("no outgrow expected, got %d resubmissions", a.Resubmissions)
+	}
+	if a.CheckpointTime != 0 {
+		t.Errorf("checkpoint time = %v, want 0", a.CheckpointTime)
+	}
+}
+
+func TestProbableNEAResubmitCostsTime(t *testing.T) {
+	// The same workload with a too-small initial guess must finish later
+	// than with a sufficient one (checkpoints + requeueing).
+	prof := testProfile(13, 25)
+	peak := amr.DefaultParams.NodesForEfficiency(prof.Max(), 0.75)
+	run := func(initial int) float64 {
+		v := newEnv(400, core.EquiPartitionFilling)
+		a := NewProbableNEA(clock.SimClock{E: v.e}, ProbableNEAConfig{
+			Cluster: c0, Profile: prof, Params: amr.DefaultParams,
+			TargetEff: 0.75, InitialPreAllocN: initial, CheckpointCost: 30,
+		})
+		v.connect(a, a)
+		if err := a.Submit(); err != nil {
+			t.Fatal(err)
+		}
+		v.e.RunAll()
+		if !a.Finished() || a.Err != nil {
+			t.Fatalf("initial=%d did not finish (err=%v)", initial, a.Err)
+		}
+		return a.EndTime
+	}
+	slow := run(3)
+	fast := run(peak + 10)
+	if slow <= fast {
+		t.Errorf("outgrowing run (%v) should end later than sufficient run (%v)", slow, fast)
+	}
+}

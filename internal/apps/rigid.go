@@ -1,0 +1,72 @@
+package apps
+
+import (
+	"coormv2/internal/clock"
+	"coormv2/internal/request"
+	"coormv2/internal/rms"
+	"coormv2/internal/view"
+)
+
+// Rigid is the simplest application of §4: "a rigid application sends a
+// single non-preemptible request of the user-submitted node-count and
+// duration. Since the application does not adapt, it ignores its views."
+type Rigid struct {
+	base
+
+	Cluster  view.ClusterID
+	N        int
+	Duration float64
+
+	reqID     request.ID
+	submitted bool
+
+	// Recorded lifecycle, for tests and workload replay statistics.
+	StartTime float64
+	EndTime   float64
+	NodeIDs   []int
+	Started   bool
+	Ended     bool
+	// OnEnd, when set, runs at the job's completion (replay bookkeeping).
+	OnEnd func()
+}
+
+// NewRigid creates a rigid application.
+func NewRigid(clk clock.Clock, cid view.ClusterID, n int, duration float64) *Rigid {
+	return &Rigid{base: base{clk: clk}, Cluster: cid, N: n, Duration: duration}
+}
+
+// Submit sends the single non-preemptible request.
+func (r *Rigid) Submit() error {
+	if r.submitted {
+		return nil
+	}
+	id, err := r.sess.Request(rms.RequestSpec{
+		Cluster: r.Cluster, N: r.N, Duration: r.Duration, Type: request.NonPreempt,
+	})
+	if err != nil {
+		return err
+	}
+	r.reqID = id
+	r.submitted = true
+	return nil
+}
+
+// OnViews ignores the views, by definition of a rigid job.
+func (r *Rigid) OnViews(_, _ view.View) {}
+
+// OnStart records the allocation and schedules the job's completion.
+func (r *Rigid) OnStart(id request.ID, nodeIDs []int) {
+	if id != r.reqID {
+		return
+	}
+	r.Started = true
+	r.StartTime = r.now()
+	r.NodeIDs = nodeIDs
+	r.clk.AfterFunc(r.Duration, "rigid.end", func() {
+		r.Ended = true
+		r.EndTime = r.now()
+		if r.OnEnd != nil {
+			r.OnEnd()
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package apps
+
+import (
+	"testing"
+
+	"coormv2/internal/amr"
+	"coormv2/internal/clock"
+	"coormv2/internal/core"
+)
+
+// TestTwoNEAsQueuedSequentially is the §4 multi-NEA scenario: "their
+// pre-allocations are too large to fit simultaneously, in which case the
+// one that arrived later will be queued after the other. In both cases,
+// the RMS is able to guarantee that whenever one of the NEAs requests an
+// update inside its pre-allocation, it can actually be served."
+func TestTwoNEAsQueuedSequentially(t *testing.T) {
+	prof1 := testProfile(21, 20)
+	prof2 := testProfile(22, 20)
+	params := amr.DefaultParams
+	pre1 := params.NodesForEfficiency(prof1.Max(), 0.75)
+	pre2 := params.NodesForEfficiency(prof2.Max(), 0.75)
+
+	// Cluster fits either pre-allocation but not both.
+	nodes := pre1 + pre2/2
+	v := newEnv(nodes, core.EquiPartitionFilling)
+
+	a1 := NewNEA(clock.SimClock{E: v.e}, NEAConfig{
+		Cluster: c0, Profile: prof1, Params: params, TargetEff: 0.75,
+		PreAllocN: pre1, Mode: NEADynamic, Horizon: 5000,
+	})
+	v.connect(a1, a1)
+	if err := a1.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	v.e.Run(1)
+
+	a2 := NewNEA(clock.SimClock{E: v.e}, NEAConfig{
+		Cluster: c0, Profile: prof2, Params: params, TargetEff: 0.75,
+		PreAllocN: pre2, Mode: NEADynamic, Horizon: 5000,
+	})
+	v.connect(a2, a2)
+	if err := a2.Submit(); err != nil {
+		t.Fatal(err)
+	}
+
+	v.e.RunAll()
+	if a1.Err != nil || a2.Err != nil {
+		t.Fatal(a1.Err, a2.Err)
+	}
+	if !a1.Finished() || !a2.Finished() {
+		t.Fatalf("NEAs did not finish: %d/%d steps", a1.Step(), a2.Step())
+	}
+	// The second NEA was queued: it started only after the first released
+	// its pre-allocation (= after a1 finished; horizons overlap otherwise).
+	if a2.StartTime < a1.EndTime-1 {
+		t.Errorf("second NEA started at %v, before the first finished at %v",
+			a2.StartTime, a1.EndTime)
+	}
+	// Both ran all their updates without ever being denied: that is what
+	// Finished() with Err == nil means — every update inside the
+	// pre-allocation was served.
+}
+
+// TestTwoNEAsFitSimultaneously: with small enough pre-allocations both run
+// at the same time (§4's other case).
+func TestTwoNEAsFitSimultaneously(t *testing.T) {
+	prof1 := testProfile(23, 15)
+	prof2 := testProfile(24, 15)
+	params := amr.DefaultParams
+	pre1 := params.NodesForEfficiency(prof1.Max(), 0.75)
+	pre2 := params.NodesForEfficiency(prof2.Max(), 0.75)
+
+	v := newEnv(pre1+pre2, core.EquiPartitionFilling)
+	a1 := NewNEA(clock.SimClock{E: v.e}, NEAConfig{
+		Cluster: c0, Profile: prof1, Params: params, TargetEff: 0.75,
+		PreAllocN: pre1, Mode: NEADynamic,
+	})
+	v.connect(a1, a1)
+	if err := a1.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	a2 := NewNEA(clock.SimClock{E: v.e}, NEAConfig{
+		Cluster: c0, Profile: prof2, Params: params, TargetEff: 0.75,
+		PreAllocN: pre2, Mode: NEADynamic,
+	})
+	v.connect(a2, a2)
+	if err := a2.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	v.e.RunAll()
+	if !a1.Finished() || !a2.Finished() || a1.Err != nil || a2.Err != nil {
+		t.Fatalf("NEAs did not finish cleanly (%v, %v)", a1.Err, a2.Err)
+	}
+	// Launched at the same time: both start within the first couple of
+	// scheduling rounds.
+	if a1.StartTime > 3 || a2.StartTime > 3 {
+		t.Errorf("start times %v / %v, want both ≈ 0 (simultaneous launch)",
+			a1.StartTime, a2.StartTime)
+	}
+}
+
+// TestNEAWithPSAUnderStrictPolicy: the whole stack also works under the
+// strict-equi-partition baseline (the PSA simply cannot fill beyond its
+// partition).
+func TestNEAWithPSAUnderStrictPolicy(t *testing.T) {
+	v := newEnv(200, core.StrictEquiPartition)
+	prof := testProfile(25, 20)
+	params := amr.DefaultParams
+	neq, _ := params.EquivalentStatic(prof, 0.75)
+	a := NewNEA(clock.SimClock{E: v.e}, NEAConfig{
+		Cluster: c0, Profile: prof, Params: params, TargetEff: 0.75,
+		PreAllocN: neq, Mode: NEADynamic,
+	})
+	v.connect(a, a)
+	if err := a.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPSA(clock.SimClock{E: v.e}, PSAConfig{Cluster: c0, TaskDuration: 30})
+	v.connect(p, p)
+	v.e.RunAll()
+	if !a.Finished() || a.Err != nil {
+		t.Fatalf("NEA failed under strict policy: %v", a.Err)
+	}
+	if p.Err != nil {
+		t.Fatal(p.Err)
+	}
+	if killed, why := p.Killed(); killed {
+		t.Fatalf("PSA killed under strict policy: %s", why)
+	}
+}

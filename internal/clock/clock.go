@@ -1,0 +1,85 @@
+// Package clock abstracts time for the RMS so that the same scheduling code
+// runs against the discrete-event simulator (evaluation, §5) and the wall
+// clock (the real-life prototype daemon, §3.2).
+package clock
+
+import (
+	"sync"
+	"time"
+
+	"coormv2/internal/sim"
+)
+
+// Timer is a cancellable pending callback.
+type Timer interface {
+	// Stop cancels the callback; it reports whether it was still pending.
+	Stop() bool
+}
+
+// Clock provides the current time (seconds since an arbitrary epoch) and
+// one-shot callbacks.
+type Clock interface {
+	Now() float64
+	// AfterFunc schedules fn to run d seconds from now.
+	AfterFunc(d float64, name string, fn func()) Timer
+}
+
+// SimClock adapts a sim.Engine to the Clock interface.
+type SimClock struct {
+	E *sim.Engine
+}
+
+// Now returns the engine's virtual time.
+func (c SimClock) Now() float64 { return c.E.Now() }
+
+// AfterFunc schedules fn on the engine.
+func (c SimClock) AfterFunc(d float64, name string, fn func()) Timer {
+	return c.E.After(d, name, fn)
+}
+
+// RealClock implements Clock using the wall clock. The epoch is the moment
+// the clock is created, so times stay small and readable in logs.
+type RealClock struct {
+	epoch time.Time
+}
+
+// NewRealClock returns a wall clock with its epoch at the current instant.
+func NewRealClock() *RealClock {
+	return &RealClock{epoch: time.Now()}
+}
+
+// Now returns the seconds elapsed since the clock's epoch.
+func (c *RealClock) Now() float64 {
+	return time.Since(c.epoch).Seconds()
+}
+
+type realTimer struct {
+	mu    sync.Mutex
+	t     *time.Timer
+	fired bool
+}
+
+func (rt *realTimer) Stop() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.fired {
+		return false
+	}
+	return rt.t.Stop()
+}
+
+// AfterFunc schedules fn on a real timer. The name is ignored (it exists
+// for simulation traces).
+func (c *RealClock) AfterFunc(d float64, _ string, fn func()) Timer {
+	rt := &realTimer{}
+	if d < 0 {
+		d = 0
+	}
+	rt.t = time.AfterFunc(time.Duration(d*float64(time.Second)), func() {
+		rt.mu.Lock()
+		rt.fired = true
+		rt.mu.Unlock()
+		fn()
+	})
+	return rt
+}

@@ -1,0 +1,93 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"coormv2/internal/sim"
+)
+
+func TestSimClock(t *testing.T) {
+	e := sim.NewEngine()
+	var c Clock = SimClock{E: e}
+	if c.Now() != 0 {
+		t.Errorf("Now = %v", c.Now())
+	}
+	fired := -1.0
+	c.AfterFunc(12.5, "x", func() { fired = c.Now() })
+	e.RunAll()
+	if fired != 12.5 {
+		t.Errorf("fired at %v, want 12.5", fired)
+	}
+}
+
+func TestSimClockTimerStop(t *testing.T) {
+	e := sim.NewEngine()
+	c := SimClock{E: e}
+	fired := false
+	tm := c.AfterFunc(5, "x", func() { fired = true })
+	if !tm.Stop() {
+		t.Error("Stop should succeed for pending timer")
+	}
+	e.RunAll()
+	if fired {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestRealClockNowMonotone(t *testing.T) {
+	c := NewRealClock()
+	a := c.Now()
+	time.Sleep(5 * time.Millisecond)
+	b := c.Now()
+	if b <= a {
+		t.Errorf("real clock not advancing: %v then %v", a, b)
+	}
+}
+
+func TestRealClockAfterFunc(t *testing.T) {
+	c := NewRealClock()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	start := time.Now()
+	c.AfterFunc(0.02, "x", func() { wg.Done() })
+	wg.Wait()
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("AfterFunc fired too early")
+	}
+}
+
+func TestRealClockTimerStop(t *testing.T) {
+	c := NewRealClock()
+	fired := make(chan struct{}, 1)
+	tm := c.AfterFunc(0.05, "x", func() { fired <- struct{}{} })
+	if !tm.Stop() {
+		t.Error("Stop should succeed")
+	}
+	select {
+	case <-fired:
+		t.Error("stopped real timer fired")
+	case <-time.After(80 * time.Millisecond):
+	}
+}
+
+func TestRealClockNegativeDelay(t *testing.T) {
+	c := NewRealClock()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	c.AfterFunc(-5, "x", func() { wg.Done() })
+	wg.Wait() // must fire ~immediately rather than panic
+}
+
+func TestRealTimerStopAfterFire(t *testing.T) {
+	c := NewRealClock()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	tm := c.AfterFunc(0.01, "x", func() { wg.Done() })
+	wg.Wait()
+	time.Sleep(5 * time.Millisecond)
+	if tm.Stop() {
+		t.Error("Stop after fire should report false")
+	}
+}

@@ -1,0 +1,79 @@
+// Package core implements the CooRMv2 scheduling algorithms of the paper's
+// appendix: toView (Algorithm 1), fit (Algorithm 2), eqSchedule
+// (Algorithm 3) and the main scheduling algorithm (Algorithm 4).
+//
+// The scheduler is a pure state machine: Schedule(now) maps the current
+// request state to per-application views and start decisions without
+// performing any I/O. The surrounding RMS layer (internal/rms) owns node-ID
+// pools, timers and application notifications; this split is what lets the
+// same scheduler run inside the discrete-event simulator and inside the real
+// TCP daemon, exactly as the paper's authors did with their prototype (§5).
+//
+// Scheduling order follows §3.2: applications are sorted by connection time;
+// pre-allocations are scheduled first using Conservative Back-Filling, then
+// non-preemptible requests inside the pre-allocations (requests that cannot
+// be served from a pre-allocation are implicitly wrapped in pre-allocations
+// of the same size), and the remaining resources are used for preemptible
+// requests via equi-partitioning with filling.
+package core
+
+import (
+	"math"
+
+	"coormv2/internal/request"
+)
+
+// timeEps is the tolerance when comparing scheduled times against "now".
+// All times flow through exact float64 arithmetic, but an epsilon keeps the
+// start test robust against accumulated rounding in long simulations.
+const timeEps = 1e-9
+
+// reqQueue is a FIFO of requests used by the fixed-point loops of
+// Algorithms 1 and 2.
+type reqQueue struct {
+	items []*request.Request
+}
+
+func (q *reqQueue) push(r *request.Request) { q.items = append(q.items, r) }
+
+func (q *reqQueue) pop() *request.Request {
+	r := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return r
+}
+
+func (q *reqQueue) empty() bool { return len(q.items) == 0 }
+
+// allocEps is the width of the instantaneous window used for preemptible
+// entitlements (see allocWindow).
+const allocEps = 1e-6
+
+// allocWindow returns the [start, end) window over which a request's
+// allocation must be covered by an availability view when computing NAlloc.
+// The window is clamped to start no earlier than now: availability profiles
+// are reconstructed each round, so their values in the past are not
+// meaningful for enforcement.
+//
+// For preemptible requests the window is instantaneous: the entitlement of
+// a preemptible allocation is its *current* availability. Future reductions
+// are signalled through the preemptive view ("either immediately or at a
+// future time", §3.1.4) and only become binding — NAlloc shrinks, and the
+// grace-period enforcement starts — once the scheduling round at the drop
+// time recomputes the entitlement. Using the whole remaining duration
+// instead would make any announced future reclamation retroactively shrink
+// an open-ended allocation at announce time.
+func allocWindow(r *request.Request, now float64) (float64, float64) {
+	start := r.ScheduledAt
+	if start < now {
+		start = now
+	}
+	if r.Type == request.Preempt {
+		return start, start + allocEps
+	}
+	end := r.ScheduledAt + r.Duration
+	if math.IsInf(r.Duration, 1) {
+		end = math.Inf(1)
+	}
+	return start, end
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"sort"
+
+	"coormv2/internal/stepfunc"
+	"coormv2/internal/view"
+)
+
+// PreemptPolicy selects how preemptible resources are divided among
+// applications.
+type PreemptPolicy uint8
+
+const (
+	// EquiPartitionFilling is the paper's default policy (§3.2, §A.4.3):
+	// resources are divided equally among applications with preemptible
+	// requests, but resources an application does not request may be
+	// filled by the others.
+	EquiPartitionFilling PreemptPolicy = iota
+	// StrictEquiPartition is the baseline of §5.4: every application is
+	// shown exactly its equi-partition, regardless of whether the other
+	// applications use theirs.
+	StrictEquiPartition
+)
+
+// String returns a human-readable policy name.
+func (p PreemptPolicy) String() string {
+	if p == StrictEquiPartition {
+		return "strict-equi-partition"
+	}
+	return "equi-partition-filling"
+}
+
+// eqSchedule implements Algorithm 3 (§A.4.3): it divides the resources of
+// vin among the applications' preemptible requests and returns the
+// preemptive view of each application, keyed by application ID. As a side
+// effect the ScheduledAt and NAlloc attributes of the preemptible requests
+// are updated.
+func eqSchedule(apps []*AppState, vin view.View, t0 float64, policy PreemptPolicy) map[int]view.View {
+	n := len(apps)
+	out := make(map[int]view.View, n)
+	if n == 0 {
+		return out
+	}
+
+	// Compute preliminary views of occupied resources (lines 1–3).
+	vocc := make([]view.View, n)
+	for i, a := range apps {
+		fixed := toView(a.P, vin, t0)
+		pending := fit(a.P, vin.Sub(fixed).ClampMin(0), t0)
+		vocc[i] = fixed.Add(pending)
+	}
+
+	// Gather every cluster mentioned by vin or any occupancy view.
+	clusterSet := map[view.ClusterID]bool{}
+	for cid := range vin {
+		clusterSet[cid] = true
+	}
+	for _, v := range vocc {
+		for cid := range v {
+			clusterSet[cid] = true
+		}
+	}
+	clusters := make([]view.ClusterID, 0, len(clusterSet))
+	for cid := range clusterSet {
+		clusters = append(clusters, cid)
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i] < clusters[j] })
+
+	// For each cluster, walk the piece-wise constant intervals (lines 4–27).
+	perApp := make([]view.View, n)
+	for i := range perApp {
+		perApp[i] = view.New()
+	}
+	for _, cid := range clusters {
+		// Collect breakpoints of vin and all occupancy profiles.
+		bpSet := map[float64]bool{0: true}
+		for _, t := range vin.Get(cid).Breakpoints() {
+			bpSet[t] = true
+		}
+		for _, v := range vocc {
+			for _, t := range v.Get(cid).Breakpoints() {
+				bpSet[t] = true
+			}
+		}
+		bps := make([]float64, 0, len(bpSet))
+		for t := range bpSet {
+			bps = append(bps, t)
+		}
+		sort.Float64s(bps)
+
+		steps := make([][]stepfunc.Step, n)
+		for k, t := range bps {
+			dur := stepfunc.Inf
+			if k+1 < len(bps) {
+				dur = bps[k+1] - t
+			}
+			vinVal := vin.Get(cid).Value(t)
+			if vinVal < 0 {
+				vinVal = 0
+			}
+			req := make([]int, n)
+			sum := 0
+			active := 0
+			for i, v := range vocc {
+				r := v.Get(cid).Value(t)
+				if r < 0 {
+					r = 0
+				}
+				req[i] = r
+				sum += r
+				if r > 0 {
+					active++
+				}
+			}
+			shares := divideInterval(vinVal, req, sum, active, policy)
+			for i := range shares {
+				steps[i] = append(steps[i], stepfunc.Step{Duration: dur, N: shares[i]})
+			}
+		}
+		for i := range perApp {
+			f := stepfunc.FromSteps(steps[i]...)
+			if !f.IsZero() {
+				perApp[i][cid] = f
+			}
+		}
+	}
+
+	// Reschedule all requests according to the computed views, so that
+	// ScheduledAt and NAlloc are set correctly (lines 28–30).
+	for i, a := range apps {
+		v := perApp[i]
+		fixed := toView(a.P, v, t0)
+		fit(a.P, v.Sub(fixed).ClampMin(0), t0)
+		out[a.ID] = v
+	}
+	return out
+}
+
+// divideInterval computes the per-application view values for one
+// piece-wise constant interval: avail nodes available, req[i] nodes
+// requested by application i (sum, active precomputed).
+func divideInterval(avail int, req []int, sum, active int, policy PreemptPolicy) []int {
+	n := len(req)
+	out := make([]int, n)
+
+	// Fair-share size for an application: its equi-partition. An inactive
+	// application's hypothetical share uses active+1 partitions (Alg. 3
+	// lines 11–12 and 22–23: "the number of partitions if this application
+	// were to become active").
+	share := func(i int) int {
+		parts := active
+		if req[i] == 0 {
+			parts = active + 1
+		}
+		if parts == 0 {
+			parts = 1
+		}
+		return avail / parts
+	}
+
+	if policy == StrictEquiPartition {
+		for i := range out {
+			out[i] = share(i)
+		}
+		return out
+	}
+
+	if sum > avail {
+		// Congested: distribute resources equally until none are left free
+		// (lines 8–18), using iterative water-filling.
+		need := append([]int(nil), req...)
+		grant := make([]int, n)
+		left := avail
+		for left > 0 {
+			unsat := 0
+			for i := range need {
+				if need[i] > 0 {
+					unsat++
+				}
+			}
+			if unsat == 0 {
+				break
+			}
+			veq := left / unsat
+			if veq < 1 {
+				veq = 1
+			}
+			progressed := false
+			for i := range need {
+				if need[i] == 0 || left == 0 {
+					continue
+				}
+				take := need[i]
+				if veq < take {
+					take = veq
+				}
+				if left < take {
+					take = left
+				}
+				grant[i] += take
+				need[i] -= take
+				left -= take
+				if take > 0 {
+					progressed = true
+				}
+			}
+			if !progressed {
+				break
+			}
+		}
+		for i := range out {
+			if req[i] > 0 {
+				out[i] = grant[i]
+			} else {
+				// Inactive applications still see their hypothetical share
+				// so they can decide to become active.
+				out[i] = share(i)
+			}
+		}
+		return out
+	}
+
+	// Uncongested: give each application the resources left free by the
+	// others, but not less than its equi-partition (lines 19–25).
+	for i := range out {
+		leftover := avail - (sum - req[i])
+		if s := share(i); leftover < s {
+			leftover = s
+		}
+		if leftover < 0 {
+			leftover = 0
+		}
+		out[i] = leftover
+	}
+	return out
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"coormv2/internal/request"
+	"coormv2/internal/view"
+)
+
+// AppState is the per-application request state stored by the RMS (§A.2):
+// one set per request type, plus the connection time used for the
+// Conservative Back-Filling order of §3.2 ("applications are sorted in a
+// list based on the time the applications connected to the RMS").
+type AppState struct {
+	ID          int
+	ConnectedAt float64
+
+	PA *request.Set // pre-allocation requests R_PA
+	NP *request.Set // non-preemptible requests R_¬P
+	P  *request.Set // preemptible requests R_P
+
+	// scratch values used within one Schedule round
+	startedPA view.View
+	startedNP view.View
+}
+
+// NewAppState returns an empty application state.
+func NewAppState(id int, connectedAt float64) *AppState {
+	return &AppState{
+		ID:          id,
+		ConnectedAt: connectedAt,
+		PA:          request.NewSet(),
+		NP:          request.NewSet(),
+		P:           request.NewSet(),
+	}
+}
+
+// SetFor returns the request set holding requests of the given type.
+func (a *AppState) SetFor(t request.Type) *request.Set {
+	switch t {
+	case request.PreAlloc:
+		return a.PA
+	case request.NonPreempt:
+		return a.NP
+	default:
+		return a.P
+	}
+}
+
+// Requests returns all of the application's requests across the three sets.
+func (a *AppState) Requests() []*request.Request {
+	var out []*request.Request
+	out = append(out, a.PA.All()...)
+	out = append(out, a.NP.All()...)
+	out = append(out, a.P.All()...)
+	return out
+}
+
+// Scheduler holds the global scheduling state: the resource model and the
+// per-application request sets. It implements Algorithm 4 (§A.5).
+type Scheduler struct {
+	clusters map[view.ClusterID]int
+	apps     []*AppState
+	policy   PreemptPolicy
+
+	// clip, when non-nil, limits the non-preemptive view presented to every
+	// application (§3.2's suggested pre-allocation limit).
+	clip view.View
+}
+
+// NewScheduler creates a scheduler managing the given clusters
+// (cluster ID → node count).
+func NewScheduler(clusters map[view.ClusterID]int) *Scheduler {
+	cp := make(map[view.ClusterID]int, len(clusters))
+	for cid, n := range clusters {
+		if n < 0 {
+			panic(fmt.Sprintf("core: negative capacity for cluster %s", cid))
+		}
+		cp[cid] = n
+	}
+	return &Scheduler{clusters: cp}
+}
+
+// SetPolicy selects the preemptible-resource division policy.
+func (s *Scheduler) SetPolicy(p PreemptPolicy) { s.policy = p }
+
+// Policy returns the active preemptible-resource division policy.
+func (s *Scheduler) Policy() PreemptPolicy { return s.policy }
+
+// SetClip installs an administrator limit on non-preemptive views
+// (nil removes the limit).
+func (s *Scheduler) SetClip(v view.View) { s.clip = v }
+
+// Clusters returns the resource model (cluster ID → node count).
+func (s *Scheduler) Clusters() map[view.ClusterID]int {
+	out := make(map[view.ClusterID]int, len(s.clusters))
+	for cid, n := range s.clusters {
+		out[cid] = n
+	}
+	return out
+}
+
+// Capacity returns the node count of cluster cid.
+func (s *Scheduler) Capacity(cid view.ClusterID) int { return s.clusters[cid] }
+
+// AddApp registers an application at the given connection time and returns
+// its state.
+func (s *Scheduler) AddApp(id int, connectedAt float64) *AppState {
+	for _, a := range s.apps {
+		if a.ID == id {
+			panic(fmt.Sprintf("core: duplicate application ID %d", id))
+		}
+	}
+	a := NewAppState(id, connectedAt)
+	s.apps = append(s.apps, a)
+	s.sortApps()
+	return a
+}
+
+// RemoveApp unregisters an application (session ended or killed).
+// It returns the removed state, or nil if the ID is unknown.
+func (s *Scheduler) RemoveApp(id int) *AppState {
+	for i, a := range s.apps {
+		if a.ID == id {
+			s.apps = append(s.apps[:i], s.apps[i+1:]...)
+			return a
+		}
+	}
+	return nil
+}
+
+// App returns the state of the application with the given ID, or nil.
+func (s *Scheduler) App(id int) *AppState {
+	for _, a := range s.apps {
+		if a.ID == id {
+			return a
+		}
+	}
+	return nil
+}
+
+// Apps returns the applications in scheduling (connection) order.
+func (s *Scheduler) Apps() []*AppState { return s.apps }
+
+func (s *Scheduler) sortApps() {
+	sort.SliceStable(s.apps, func(i, j int) bool {
+		if s.apps[i].ConnectedAt != s.apps[j].ConnectedAt {
+			return s.apps[i].ConnectedAt < s.apps[j].ConnectedAt
+		}
+		return s.apps[i].ID < s.apps[j].ID
+	})
+}
+
+// fullView returns a view with every cluster at full capacity forever.
+func (s *Scheduler) fullView() view.View {
+	v := view.New()
+	for cid, n := range s.clusters {
+		if n > 0 {
+			v = v.AddRect(cid, 0, math.Inf(1), n)
+		}
+	}
+	return v
+}
+
+// Outcome is the result of one scheduling round: the views to present to
+// each application and the requests whose computed start time has arrived.
+type Outcome struct {
+	// NonPreemptViews holds V_¬P^(i): what each application can see for
+	// pre-allocations and non-preemptible requests.
+	NonPreemptViews map[int]view.View
+	// PreemptViews holds V_P^(i): what each application can see for
+	// preemptible requests. A drop below an application's current
+	// preemptible allocation signals that it must release resources.
+	PreemptViews map[int]view.View
+	// ToStart lists requests with ScheduledAt <= now that have not started,
+	// parents before children.
+	ToStart []*request.Request
+}
+
+// Schedule runs the main scheduling algorithm (Algorithm 4) at time now.
+// It computes views for every application, sets the ScheduledAt/NAlloc
+// attributes of every request, and reports which requests should start.
+// Marking requests as started (and allocating node IDs) is the caller's
+// job: the RMS may have to defer a start until preempted resources are
+// actually released (§A.5).
+func (s *Scheduler) Schedule(now float64) *Outcome {
+	out := &Outcome{
+		NonPreemptViews: make(map[int]view.View, len(s.apps)),
+		PreemptViews:    make(map[int]view.View, len(s.apps)),
+	}
+
+	// Initialize temporary views with all resources (lines 1–2).
+	vNP := s.fullView() // resources free for pre-allocations / wrapped ¬P
+	vP := s.fullView()  // resources free for preemptible requests
+
+	// Subtract resources allocated to started requests (lines 3–5).
+	// Started pre-allocations consume non-preemptible space; started
+	// non-preemptible allocations consume preemptible space. A started
+	// non-preemptible request that was implicitly wrapped (no covering
+	// pre-allocation) consumes non-preemptible space as well.
+	for _, a := range s.apps {
+		a.startedPA = toView(a.PA, nil, now)
+		a.startedNP = toView(a.NP, nil, now)
+		vNP = vNP.Sub(a.startedPA)
+		wrapped := view.New()
+		for _, r := range a.NP.All() {
+			if r.Fixed && r.Wrapped {
+				wrapped = wrapped.AddRect(r.Cluster, r.ScheduledAt, r.Duration, r.NAlloc)
+			}
+		}
+		vNP = vNP.Sub(wrapped)
+		vP = vP.Sub(a.startedNP)
+	}
+
+	// Compute non-preemptive views and start times of pre-allocations and
+	// non-preemptible requests (lines 6–11), applications in CBF order.
+	for _, a := range s.apps {
+		// V_¬P^(i) = toView(R_PA) + V_¬P (line 7): the application sees its
+		// own pre-allocated space plus the globally free space.
+		viewNP := a.startedPA.Add(vNP.ClampMin(0))
+		if s.clip != nil {
+			viewNP = viewNP.Clip(s.clip)
+		}
+
+		// Schedule pending pre-allocations into the non-preemptive view
+		// (line 8). This is Conservative Back-Filling: applications are
+		// processed in connection order and each takes the first hole.
+		voccPA := fit(a.PA, viewNP, now)
+
+		// Space available for the application's non-preemptible requests:
+		// all of its pre-allocations (started + newly scheduled) minus its
+		// own started in-pre-allocation requests (line 9), plus the global
+		// free space for requests that need implicit wrapping (§3.2).
+		inPA := view.New()
+		for _, r := range a.NP.All() {
+			if r.Fixed && !r.Wrapped {
+				inPA = inPA.AddRect(r.Cluster, r.ScheduledAt, r.Duration, r.NAlloc)
+			}
+		}
+		paFree := a.startedPA.Add(voccPA).Sub(inPA)
+		availNP := paFree.Add(vNP.ClampMin(0))
+		voccNP := fit(a.NP, availNP, now)
+
+		// Classify each pending request: wrapped if its allocation is not
+		// fully covered by the application's pre-allocation space.
+		for _, r := range a.NP.All() {
+			if r.Fixed || math.IsInf(r.ScheduledAt, 1) {
+				continue
+			}
+			w0, w1 := r.ScheduledAt, r.ScheduledAt+r.Duration
+			r.Wrapped = paFree.Get(r.Cluster).MinOn(w0, w1) < r.NAlloc
+		}
+
+		// Update the running availability (lines 10–11): newly scheduled
+		// pre-allocations and the wrapped excess of non-preemptible
+		// requests consume non-preemptible space; all scheduled
+		// non-preemptible requests consume preemptible space.
+		excess := voccNP.Sub(paFree).ClampMin(0)
+		vNP = vNP.Sub(voccPA).Sub(excess)
+		vP = vP.Sub(voccNP)
+
+		out.NonPreemptViews[a.ID] = viewNP.ClampMin(0)
+	}
+
+	// Compute preemptive views and start times of preemptible requests
+	// (line 12).
+	out.PreemptViews = eqSchedule(s.apps, vP.ClampMin(0), now, s.policy)
+
+	// Collect requests whose start time has arrived (lines 13–14).
+	for _, a := range s.apps {
+		for _, r := range a.Requests() {
+			if r.Started() || r.Finished {
+				continue
+			}
+			if math.IsInf(r.ScheduledAt, 1) {
+				continue
+			}
+			if r.ScheduledAt <= now+timeEps {
+				out.ToStart = append(out.ToStart, r)
+			}
+		}
+	}
+	sort.SliceStable(out.ToStart, func(i, j int) bool {
+		a, b := out.ToStart[i], out.ToStart[j]
+		if a.ScheduledAt != b.ScheduledAt {
+			return a.ScheduledAt < b.ScheduledAt
+		}
+		da, db := depth(a), depth(b)
+		if da != db {
+			return da < db
+		}
+		return a.ID < b.ID
+	})
+	return out
+}
+
+// depth returns the constraint-chain depth of a request (0 for roots),
+// used to start parents before children within one instant.
+func depth(r *request.Request) int {
+	d := 0
+	for p := r.RelatedTo; p != nil && d < 1024; p = p.RelatedTo {
+		d++
+	}
+	return d
+}

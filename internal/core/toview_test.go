@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"coormv2/internal/request"
+	"coormv2/internal/view"
+)
+
+func newReq(id request.ID, n int, dur float64, typ request.Type, how request.Relation, parent *request.Request) *request.Request {
+	return request.New(id, 1, "c0", n, dur, typ, how, parent)
+}
+
+func TestToViewEmptySet(t *testing.T) {
+	rs := request.NewSet()
+	v := toView(rs, nil, 0)
+	if !v.Get("c0").IsZero() {
+		t.Error("empty set should generate empty view")
+	}
+}
+
+func TestToViewUnstartedRequestsIgnored(t *testing.T) {
+	rs := request.NewSet()
+	r := newReq(1, 4, 100, request.NonPreempt, request.Free, nil)
+	rs.Add(r)
+	v := toView(rs, nil, 0)
+	if !v.Get("c0").IsZero() {
+		t.Error("unstarted FREE request should not be fixed")
+	}
+	if r.Fixed {
+		t.Error("unstarted FREE request must not be marked fixed")
+	}
+}
+
+func TestToViewStartedRequest(t *testing.T) {
+	rs := request.NewSet()
+	r := newReq(1, 4, 100, request.NonPreempt, request.Free, nil)
+	r.StartedAt = 10
+	rs.Add(r)
+	v := toView(rs, nil, 0)
+	if !r.Fixed {
+		t.Error("started request must be fixed")
+	}
+	if r.ScheduledAt != 10 {
+		t.Errorf("ScheduledAt = %v, want 10 (= StartedAt)", r.ScheduledAt)
+	}
+	if r.NAlloc != 4 {
+		t.Errorf("NAlloc = %d, want 4 (no availability limit)", r.NAlloc)
+	}
+	f := v.Get("c0")
+	if f.Value(10) != 4 || f.Value(109) != 4 || f.Value(110) != 0 || f.Value(5) != 0 {
+		t.Errorf("generated view wrong: %v", f)
+	}
+}
+
+func TestToViewNextChainFixed(t *testing.T) {
+	// A started request with a pending NEXT child: the child's start time is
+	// pinned to the parent's end, and it becomes fixed (this is what makes
+	// updates inside a pre-allocation guaranteed).
+	rs := request.NewSet()
+	parent := newReq(1, 4, 50, request.NonPreempt, request.Free, nil)
+	parent.StartedAt = 0
+	child := newReq(2, 6, 100, request.NonPreempt, request.Next, parent)
+	grand := newReq(3, 2, 30, request.NonPreempt, request.Coalloc, child)
+	rs.Add(parent)
+	rs.Add(child)
+	rs.Add(grand)
+
+	v := toView(rs, nil, 0)
+	if !child.Fixed || !grand.Fixed {
+		t.Fatal("descendants of a started request must be fixed")
+	}
+	if child.ScheduledAt != 50 {
+		t.Errorf("child ScheduledAt = %v, want 50", child.ScheduledAt)
+	}
+	if grand.ScheduledAt != 50 {
+		t.Errorf("grand (COALLOC on child) ScheduledAt = %v, want 50", grand.ScheduledAt)
+	}
+	f := v.Get("c0")
+	if f.Value(25) != 4 {
+		t.Errorf("parent occupancy wrong: %d", f.Value(25))
+	}
+	if f.Value(60) != 8 { // child 6 + grand 2
+		t.Errorf("child+grand occupancy = %d, want 8", f.Value(60))
+	}
+}
+
+func TestToViewAllocLimitedByAvailability(t *testing.T) {
+	rs := request.NewSet()
+	r := newReq(1, 10, 100, request.Preempt, request.Free, nil)
+	r.StartedAt = 0
+	rs.Add(r)
+	avail := view.New().AddRect("c0", 0, 1000, 6)
+	toView(rs, avail, 0)
+	if r.NAlloc != 6 {
+		t.Errorf("NAlloc = %d, want 6 (limited by availability)", r.NAlloc)
+	}
+}
+
+func TestToViewAllocWindowClampedToNow(t *testing.T) {
+	// A preemptible request started long ago must have its NAlloc computed
+	// from current+future availability only, not from reconstructed history.
+	rs := request.NewSet()
+	r := newReq(1, 10, math.Inf(1), request.Preempt, request.Free, nil)
+	r.StartedAt = 0
+	rs.Add(r)
+	// Availability: 2 nodes in the past [0,100), 8 nodes from 100 onward.
+	avail := view.New().AddRect("c0", 0, 100, 2).AddRect("c0", 100, math.Inf(1), 8)
+	toView(rs, avail, 100)
+	if r.NAlloc != 8 {
+		t.Errorf("NAlloc = %d, want 8 (past availability must not matter)", r.NAlloc)
+	}
+}
+
+func TestToViewShortenedDuration(t *testing.T) {
+	// done() shortens a request's duration; the generated view must follow.
+	rs := request.NewSet()
+	r := newReq(1, 4, 100, request.NonPreempt, request.Free, nil)
+	r.StartedAt = 0
+	rs.Add(r)
+	r.Duration = 30 // done() at t=30
+	v := toView(rs, nil, 30)
+	f := v.Get("c0")
+	if f.Value(29) != 4 || f.Value(30) != 0 {
+		t.Errorf("shortened request occupancy wrong: %v", f)
+	}
+}
+
+func TestToViewClearsStaleFixed(t *testing.T) {
+	rs := request.NewSet()
+	r := newReq(1, 4, 100, request.NonPreempt, request.Free, nil)
+	r.Fixed = true // stale from a previous round
+	rs.Add(r)
+	toView(rs, nil, 0)
+	if r.Fixed {
+		t.Error("toView must clear Fixed on non-started requests")
+	}
+}
+
+func TestToViewMultipleStartedRequests(t *testing.T) {
+	rs := request.NewSet()
+	a := newReq(1, 3, 100, request.NonPreempt, request.Free, nil)
+	a.StartedAt = 0
+	b := newReq(2, 5, 50, request.NonPreempt, request.Free, nil)
+	b.StartedAt = 20
+	rs.Add(a)
+	rs.Add(b)
+	v := toView(rs, nil, 25)
+	f := v.Get("c0")
+	if f.Value(10) != 3 || f.Value(30) != 8 || f.Value(80) != 3 || f.Value(150) != 0 {
+		t.Errorf("summed occupancy wrong: %v", f)
+	}
+}

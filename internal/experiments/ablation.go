@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coormv2/internal/apps"
+)
+
+// AblationRow compares the full CooRMv2 behaviour against a variant with
+// one design choice disabled, on the same workload and seed.
+type AblationRow struct {
+	Variant          string
+	PSAWaste         float64 // node·s
+	UsedResourcesPct float64
+	AMRRuntime       float64
+}
+
+// AblationConfig parametrizes the ablation study.
+type AblationConfig struct {
+	Seed             int64
+	Steps            int
+	Smax             float64
+	AnnounceInterval float64
+	PSATaskDur       float64
+}
+
+// AblationPSA quantifies the two PSA-side design choices that make
+// announced updates pay off (§5.3–5.4):
+//
+//  1. graceful release (waiting for task completions instead of killing),
+//  2. window-aware resource selection (§4: claim a node only when its
+//     availability window fits at least one task).
+//
+// Each variant runs the Fig. 10 scenario (κ = 1, announced updates) with
+// one mechanism disabled.
+func AblationPSA(cfg AblationConfig) ([]AblationRow, error) {
+	if cfg.AnnounceInterval <= 0 {
+		cfg.AnnounceInterval = 300
+	}
+	if cfg.PSATaskDur <= 0 {
+		cfg.PSATaskDur = 600
+	}
+	variants := []struct {
+		name string
+		mod  func(p *apps.PSA)
+	}{
+		{"full (graceful + window-aware)", nil},
+		{"no graceful release", func(p *apps.PSA) { p.SetNoGraceful(true) }},
+		{"no window selection", func(p *apps.PSA) { p.SetIgnoreWindows(true) }},
+		{"neither", func(p *apps.PSA) { p.SetNoGraceful(true); p.SetIgnoreWindows(true) }},
+	}
+	out := make([]AblationRow, 0, len(variants))
+	for _, v := range variants {
+		sc := ScenarioConfig{
+			Seed: cfg.Seed, Steps: cfg.Steps, Smax: cfg.Smax,
+			TargetEff: 0.75, Overcommit: 1, Mode: apps.NEADynamic,
+			AnnounceInterval: cfg.AnnounceInterval,
+			PSATaskDurations: []float64{cfg.PSATaskDur},
+		}
+		if v.mod != nil {
+			mod := v.mod
+			sc.PSAHook = func(_ int, p *apps.PSA) { mod(p) }
+		}
+		res, err := RunScenario(sc)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %q: %w", v.name, err)
+		}
+		out = append(out, AblationRow{
+			Variant:          v.name,
+			PSAWaste:         res.PSAWaste[0],
+			UsedResourcesPct: 100 * res.UsedFraction,
+			AMRRuntime:       res.AMRRuntime,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"testing"
+
+	"coormv2/internal/stats"
+	"coormv2/internal/workload"
+)
+
+func TestReplaySmallTrace(t *testing.T) {
+	jobs := []workload.Job{
+		{ID: 1, Submit: 0, Runtime: 100, Nodes: 8},
+		{ID: 2, Submit: 10, Runtime: 100, Nodes: 8}, // must queue (8+8 > 10)
+		{ID: 3, Submit: 20, Runtime: 50, Nodes: 2},  // backfills beside job 1
+	}
+	res, err := RunReplay(ReplayConfig{Jobs: jobs, Nodes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 3 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	// Job 2 waited for job 1 to end (~90 s); job 3 backfilled (~0 wait).
+	if res.MaxWait < 80 || res.MaxWait > 120 {
+		t.Errorf("max wait = %v, want ≈ 90 (queued job)", res.MaxWait)
+	}
+	if res.Makespan < 200 || res.Makespan > 230 {
+		t.Errorf("makespan = %v, want ≈ 210", res.Makespan)
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Errorf("utilization = %v", res.Utilization)
+	}
+}
+
+func TestReplaySyntheticWithPSA(t *testing.T) {
+	jobs := workload.Synthetic(stats.NewRand(1), workload.SyntheticConfig{
+		Jobs: 30, MaxNodes: 16, MeanInterArr: 120, MeanRuntime: 600,
+	})
+	base, err := RunReplay(ReplayConfig{Jobs: jobs, Nodes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filled, err := RunReplay(ReplayConfig{Jobs: jobs, Nodes: 32, FillWithPSA: true, PSATaskDur: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filled.Completed != 30 || base.Completed != 30 {
+		t.Fatalf("jobs lost: %d / %d", base.Completed, filled.Completed)
+	}
+	// The scavenging PSA must add useful work without delaying rigid jobs
+	// much (preemptible resources are reclaimed on demand).
+	if filled.PSAUseful <= 0 {
+		t.Error("PSA did no useful scavenging")
+	}
+	if filled.UtilizationWithPSA <= filled.Utilization {
+		t.Error("utilization with PSA should exceed rigid-only utilization")
+	}
+	if filled.MeanWait > base.MeanWait*1.5+10 {
+		t.Errorf("PSA delayed rigid jobs too much: %v vs %v", filled.MeanWait, base.MeanWait)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	if _, err := RunReplay(ReplayConfig{Nodes: 10}); err == nil {
+		t.Error("empty stream should error")
+	}
+	jobs := []workload.Job{{ID: 1, Submit: 0, Runtime: 10, Nodes: 99}}
+	if _, err := RunReplay(ReplayConfig{Jobs: jobs, Nodes: 10}); err == nil {
+		t.Error("oversized job should error")
+	}
+	if _, err := RunReplay(ReplayConfig{Jobs: jobs}); err == nil {
+		t.Error("zero nodes should error")
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	rows, err := Accounting(1, 60, 50*1024, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	static, dynamic := rows[0], rows[2]
+	// Static: everything reserved is used (that is its inefficiency).
+	if static.ReservedIdle != 0 {
+		t.Errorf("static reserved-idle = %v, want 0", static.ReservedIdle)
+	}
+	// Dynamic: substantial idle reservation, which the PSA filled.
+	if dynamic.ReservedIdle <= 0 {
+		t.Error("dynamic should have idle reservation")
+	}
+	if dynamic.UsedArea >= static.UsedArea {
+		t.Errorf("dynamic used %v should undercut static %v at overcommit 2",
+			dynamic.UsedArea, static.UsedArea)
+	}
+	dynPSA := rows[3]
+	if dynPSA.UsedArea <= 0 {
+		t.Error("the PSA should have filled the dynamic AMR's idle reservation")
+	}
+}
+
+func TestAblationPSA(t *testing.T) {
+	rows, err := AblationPSA(AblationConfig{
+		Seed: 1, Steps: 60, Smax: 50 * 1024,
+		AnnounceInterval: 90, PSATaskDur: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	full := rows[0]
+	noGrace := rows[1]
+	// With notice ≥ d_task the full PSA wastes nothing; without graceful
+	// release it must kill tasks at every reclamation.
+	if full.PSAWaste > 1 {
+		t.Errorf("full variant waste = %v, want ≈ 0", full.PSAWaste)
+	}
+	if noGrace.PSAWaste <= full.PSAWaste {
+		t.Errorf("disabling graceful release should increase waste: %v vs %v",
+			noGrace.PSAWaste, full.PSAWaste)
+	}
+}

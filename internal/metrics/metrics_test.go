@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAreaIntegration(t *testing.T) {
+	r := NewRecorder()
+	r.SetAlloc(1, 0, 4)
+	r.SetAlloc(1, 10, 2) // 4 nodes for 10s = 40
+	r.SetAlloc(1, 20, 0) // 2 nodes for 10s = 20
+	if got := r.Area(1, 30); got != 60 {
+		t.Errorf("Area = %v, want 60", got)
+	}
+	// Querying later does not change the (zero-alloc) area.
+	if got := r.Area(1, 100); got != 60 {
+		t.Errorf("Area after idle = %v, want 60", got)
+	}
+}
+
+func TestAreaPartialQuery(t *testing.T) {
+	r := NewRecorder()
+	r.SetAlloc(1, 0, 10)
+	if got := r.Area(1, 5); got != 50 {
+		t.Errorf("Area mid-allocation = %v, want 50", got)
+	}
+	if got := r.Area(1, 7); got != 70 {
+		t.Errorf("Area advanced = %v, want 70", got)
+	}
+}
+
+func TestTimeBackwardsPanics(t *testing.T) {
+	r := NewRecorder()
+	r.SetAlloc(1, 10, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("going backwards in time should panic")
+		}
+	}()
+	r.SetAlloc(1, 5, 2)
+}
+
+func TestPreAllocArea(t *testing.T) {
+	r := NewRecorder()
+	r.SetPreAlloc(1, 0, 8)
+	r.SetAlloc(1, 0, 2)
+	if got := r.PreAllocArea(1, 10); got != 80 {
+		t.Errorf("PreAllocArea = %v, want 80", got)
+	}
+	if got := r.Area(1, 10); got != 20 {
+		t.Errorf("Area = %v, want 20", got)
+	}
+}
+
+func TestWaste(t *testing.T) {
+	r := NewRecorder()
+	r.AddWaste(1, 100)
+	r.AddWaste(1, 50)
+	r.AddWaste(2, 7)
+	if r.Waste(1) != 150 || r.Waste(2) != 7 {
+		t.Error("Waste accumulation wrong")
+	}
+	if r.TotalWaste() != 157 {
+		t.Errorf("TotalWaste = %v", r.TotalWaste())
+	}
+}
+
+func TestNegativeWastePanics(t *testing.T) {
+	r := NewRecorder()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative waste should panic")
+		}
+	}()
+	r.AddWaste(1, -1)
+}
+
+func TestMaxAllocCurrent(t *testing.T) {
+	r := NewRecorder()
+	r.SetAlloc(1, 0, 4)
+	r.SetAlloc(1, 1, 9)
+	r.SetAlloc(1, 2, 3)
+	if r.MaxAlloc(1) != 9 {
+		t.Errorf("MaxAlloc = %d", r.MaxAlloc(1))
+	}
+	if r.Current(1) != 3 {
+		t.Errorf("Current = %d", r.Current(1))
+	}
+}
+
+func TestTotalAreaAndUsedFraction(t *testing.T) {
+	r := NewRecorder()
+	r.SetAlloc(1, 0, 6)
+	r.SetAlloc(2, 0, 4)
+	// 10 nodes busy on a 10-node cluster for 100 s, 100 node·s wasted:
+	// used fraction = (1000-100)/1000 = 0.9.
+	r.AddWaste(2, 100)
+	if got := r.TotalArea(100); got != 1000 {
+		t.Errorf("TotalArea = %v", got)
+	}
+	if got := r.UsedFraction(10, 100); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("UsedFraction = %v, want 0.9", got)
+	}
+}
+
+func TestUsedFractionDegenerate(t *testing.T) {
+	r := NewRecorder()
+	if r.UsedFraction(0, 100) != 0 || r.UsedFraction(10, 0) != 0 {
+		t.Error("degenerate used fraction should be 0")
+	}
+	// Waste exceeding area clamps at 0.
+	r.AddWaste(1, 50)
+	if r.UsedFraction(10, 10) != 0 {
+		t.Error("used fraction should clamp at 0")
+	}
+}
+
+func TestAppsAndReport(t *testing.T) {
+	r := NewRecorder()
+	r.SetAlloc(3, 0, 1)
+	r.SetAlloc(1, 0, 2)
+	r.SetPreAlloc(1, 0, 5)
+	r.AddWaste(3, 9)
+	apps := r.Apps()
+	if len(apps) != 2 || apps[0] != 1 || apps[1] != 3 {
+		t.Fatalf("Apps = %v", apps)
+	}
+	rep := r.Report(10)
+	if len(rep) != 2 {
+		t.Fatalf("Report = %v", rep)
+	}
+	if rep[0].AppID != 1 || rep[0].UsedArea != 20 || rep[0].PreAllocArea != 50 {
+		t.Errorf("Report[0] = %+v", rep[0])
+	}
+	if rep[1].AppID != 3 || rep[1].Waste != 9 || rep[1].UsedArea != 10 {
+		t.Errorf("Report[1] = %+v", rep[1])
+	}
+}
+
+func TestUnknownAppZeroes(t *testing.T) {
+	r := NewRecorder()
+	if r.Area(42, 10) != 0 || r.Waste(42) != 0 || r.MaxAlloc(42) != 0 {
+		t.Error("unknown app should read as zero")
+	}
+}

@@ -1,0 +1,226 @@
+// Package proto defines the wire messages of the CooRMv2
+// application–RMS protocol (the interaction of Fig. 8), serialized as
+// newline-delimited JSON. It mirrors the in-process interface of
+// internal/rms so that the same application code can run against the
+// simulator or against the TCP daemon.
+package proto
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"coormv2/internal/request"
+	"coormv2/internal/rms"
+	"coormv2/internal/stepfunc"
+	"coormv2/internal/view"
+)
+
+// MsgType enumerates the protocol messages.
+type MsgType string
+
+const (
+	// Application → RMS.
+	MsgConnect MsgType = "connect" // open a session
+	MsgRequest MsgType = "request" // the request() operation
+	MsgDone    MsgType = "done"    // the done() operation
+	MsgBye     MsgType = "bye"     // clean disconnect
+
+	// RMS → application.
+	MsgConnected MsgType = "connected" // session accepted, carries app ID
+	MsgReqAck    MsgType = "req-ack"   // request accepted, carries request ID
+	MsgError     MsgType = "error"     // request/done rejected
+	MsgViews     MsgType = "views"     // fresh non-preemptive + preemptive views
+	MsgStart     MsgType = "start"     // startNotify: request started, node IDs
+	MsgKill      MsgType = "kill"      // protocol violation, session terminated
+)
+
+// infDuration encodes math.Inf(1) on the wire (JSON has no Inf literal).
+const infDuration = -1
+
+// StepJSON is one (duration, node-count) segment of a profile.
+// A Duration of -1 means "forever".
+type StepJSON struct {
+	Duration float64 `json:"dur"`
+	N        int     `json:"n"`
+}
+
+// ViewJSON is a wire-encodable view: cluster ID → availability steps.
+type ViewJSON map[string][]StepJSON
+
+// EncodeView converts a view to its wire form.
+func EncodeView(v view.View) ViewJSON {
+	out := make(ViewJSON, len(v))
+	for _, cid := range v.Clusters() {
+		steps := v.Get(cid).Steps()
+		enc := make([]StepJSON, len(steps))
+		for i, s := range steps {
+			d := s.Duration
+			if math.IsInf(d, 1) {
+				d = infDuration
+			}
+			enc[i] = StepJSON{Duration: d, N: s.N}
+		}
+		out[string(cid)] = enc
+	}
+	return out
+}
+
+// DecodeView converts a wire view back to the internal representation.
+func (vj ViewJSON) DecodeView() (view.View, error) {
+	out := view.New()
+	for cid, steps := range vj {
+		dec := make([]stepfunc.Step, len(steps))
+		for i, s := range steps {
+			d := s.Duration
+			if d == infDuration {
+				d = math.Inf(1)
+			}
+			if d < 0 {
+				return nil, fmt.Errorf("proto: invalid duration %v in view", s.Duration)
+			}
+			dec[i] = stepfunc.Step{Duration: d, N: s.N}
+		}
+		f := stepfunc.FromSteps(dec...)
+		if !f.IsZero() {
+			out[view.ClusterID(cid)] = f
+		}
+	}
+	return out, nil
+}
+
+// Message is the single frame type exchanged in both directions; Type
+// selects which fields are meaningful.
+type Message struct {
+	Type MsgType `json:"type"`
+	// Seq correlates an application message with its ack/error.
+	Seq int64 `json:"seq,omitempty"`
+
+	// MsgConnected
+	AppID int `json:"app_id,omitempty"`
+
+	// MsgRequest
+	Cluster    string  `json:"cluster,omitempty"`
+	N          int     `json:"n,omitempty"`
+	Duration   float64 `json:"duration,omitempty"` // -1 = infinite
+	ReqType    string  `json:"req_type,omitempty"` // "PA" | "NP" | "P"
+	RelatedHow string  `json:"related_how,omitempty"`
+	RelatedTo  int64   `json:"related_to,omitempty"`
+
+	// MsgReqAck, MsgDone, MsgStart
+	ReqID int64 `json:"req_id,omitempty"`
+
+	// MsgDone
+	Released []int `json:"released,omitempty"`
+
+	// MsgStart
+	NodeIDs []int `json:"node_ids,omitempty"`
+
+	// MsgViews
+	NonPreemptView ViewJSON `json:"np_view,omitempty"`
+	PreemptView    ViewJSON `json:"p_view,omitempty"`
+
+	// MsgError, MsgKill
+	Reason string `json:"reason,omitempty"`
+}
+
+// reqTypeNames maps wire names to request types.
+var reqTypeNames = map[string]request.Type{
+	"PA": request.PreAlloc,
+	"NP": request.NonPreempt,
+	"P":  request.Preempt,
+}
+
+// relationNames maps wire names to constraint relations.
+var relationNames = map[string]request.Relation{
+	"":        request.Free,
+	"FREE":    request.Free,
+	"COALLOC": request.Coalloc,
+	"NEXT":    request.Next,
+}
+
+// EncodeReqType returns the wire name of a request type.
+func EncodeReqType(t request.Type) string {
+	switch t {
+	case request.PreAlloc:
+		return "PA"
+	case request.NonPreempt:
+		return "NP"
+	default:
+		return "P"
+	}
+}
+
+// EncodeRelation returns the wire name of a relation.
+func EncodeRelation(r request.Relation) string {
+	switch r {
+	case request.Coalloc:
+		return "COALLOC"
+	case request.Next:
+		return "NEXT"
+	default:
+		return "FREE"
+	}
+}
+
+// EncodeRequestSpec converts an rms.RequestSpec into a MsgRequest frame.
+func EncodeRequestSpec(spec rms.RequestSpec, seq int64) Message {
+	d := spec.Duration
+	if math.IsInf(d, 1) {
+		d = infDuration
+	}
+	return Message{
+		Type:       MsgRequest,
+		Seq:        seq,
+		Cluster:    string(spec.Cluster),
+		N:          spec.N,
+		Duration:   d,
+		ReqType:    EncodeReqType(spec.Type),
+		RelatedHow: EncodeRelation(spec.RelatedHow),
+		RelatedTo:  int64(spec.RelatedTo),
+	}
+}
+
+// DecodeRequestSpec converts a MsgRequest frame back into a spec.
+func (m *Message) DecodeRequestSpec() (rms.RequestSpec, error) {
+	if m.Type != MsgRequest {
+		return rms.RequestSpec{}, fmt.Errorf("proto: %q is not a request message", m.Type)
+	}
+	typ, ok := reqTypeNames[m.ReqType]
+	if !ok {
+		return rms.RequestSpec{}, fmt.Errorf("proto: unknown request type %q", m.ReqType)
+	}
+	how, ok := relationNames[m.RelatedHow]
+	if !ok {
+		return rms.RequestSpec{}, fmt.Errorf("proto: unknown relation %q", m.RelatedHow)
+	}
+	d := m.Duration
+	if d == infDuration {
+		d = math.Inf(1)
+	}
+	return rms.RequestSpec{
+		Cluster:    view.ClusterID(m.Cluster),
+		N:          m.N,
+		Duration:   d,
+		Type:       typ,
+		RelatedHow: how,
+		RelatedTo:  request.ID(m.RelatedTo),
+	}, nil
+}
+
+// Marshal serializes a message as one JSON line (without the newline).
+func (m *Message) Marshal() ([]byte, error) {
+	return json.Marshal(m)
+}
+
+// Unmarshal parses one JSON line into a message.
+func Unmarshal(data []byte) (*Message, error) {
+	var m Message
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("proto: %w", err)
+	}
+	if m.Type == "" {
+		return nil, fmt.Errorf("proto: missing message type")
+	}
+	return &m, nil
+}

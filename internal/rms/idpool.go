@@ -1,0 +1,54 @@
+package rms
+
+import (
+	"fmt"
+	"sort"
+)
+
+// idPool hands out node IDs for one cluster. IDs are integers 0..n-1;
+// allocation returns the lowest free IDs, which keeps simulated traces
+// stable and readable.
+type idPool struct {
+	freeIDs []int // sorted ascending
+	size    int
+}
+
+func newIDPool(n int) *idPool {
+	p := &idPool{size: n, freeIDs: make([]int, n)}
+	for i := range p.freeIDs {
+		p.freeIDs[i] = i
+	}
+	return p
+}
+
+// available returns the number of free node IDs.
+func (p *idPool) available() int { return len(p.freeIDs) }
+
+// alloc removes and returns the k lowest free IDs. It panics if k exceeds
+// availability: callers must check available() first (the RMS defers starts
+// instead of over-allocating).
+func (p *idPool) alloc(k int) []int {
+	if k < 0 || k > len(p.freeIDs) {
+		panic(fmt.Sprintf("idPool: alloc(%d) with %d available", k, len(p.freeIDs)))
+	}
+	out := append([]int(nil), p.freeIDs[:k]...)
+	p.freeIDs = append(p.freeIDs[:0], p.freeIDs[k:]...)
+	return out
+}
+
+// free returns IDs to the pool. Freeing an ID twice or an out-of-range ID
+// panics: it always indicates RMS state corruption.
+func (p *idPool) free(ids []int) {
+	for _, id := range ids {
+		if id < 0 || id >= p.size {
+			panic(fmt.Sprintf("idPool: freeing out-of-range ID %d", id))
+		}
+		i := sort.SearchInts(p.freeIDs, id)
+		if i < len(p.freeIDs) && p.freeIDs[i] == id {
+			panic(fmt.Sprintf("idPool: double free of ID %d", id))
+		}
+		p.freeIDs = append(p.freeIDs, 0)
+		copy(p.freeIDs[i+1:], p.freeIDs[i:])
+		p.freeIDs[i] = id
+	}
+}

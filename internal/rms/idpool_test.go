@@ -1,0 +1,69 @@
+package rms
+
+import "testing"
+
+func TestIDPoolAllocLowestFirst(t *testing.T) {
+	p := newIDPool(5)
+	if p.available() != 5 {
+		t.Fatalf("available = %d", p.available())
+	}
+	ids := p.alloc(3)
+	want := []int{0, 1, 2}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("alloc = %v, want %v", ids, want)
+		}
+	}
+	if p.available() != 2 {
+		t.Errorf("available after alloc = %d", p.available())
+	}
+}
+
+func TestIDPoolFreeReuse(t *testing.T) {
+	p := newIDPool(4)
+	ids := p.alloc(4)
+	p.free([]int{ids[2], ids[0]})
+	got := p.alloc(2)
+	if got[0] != 0 || got[1] != 2 {
+		t.Errorf("re-alloc = %v, want [0 2] (sorted)", got)
+	}
+}
+
+func TestIDPoolAllocZero(t *testing.T) {
+	p := newIDPool(3)
+	if got := p.alloc(0); len(got) != 0 {
+		t.Errorf("alloc(0) = %v", got)
+	}
+}
+
+func TestIDPoolOverAllocPanics(t *testing.T) {
+	p := newIDPool(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-alloc should panic")
+		}
+	}()
+	p.alloc(3)
+}
+
+func TestIDPoolDoubleFreePanics(t *testing.T) {
+	p := newIDPool(2)
+	ids := p.alloc(1)
+	p.free(ids)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free should panic")
+		}
+	}()
+	p.free(ids)
+}
+
+func TestIDPoolOutOfRangeFreePanics(t *testing.T) {
+	p := newIDPool(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range free should panic")
+		}
+	}()
+	p.free([]int{7})
+}

@@ -1,0 +1,658 @@
+// Package rms implements the CooRMv2 Resource Management System process
+// around the pure scheduler of internal/core: application sessions, the
+// request()/done() operations (§3.1.3), view pushing, node-ID allocation,
+// the re-scheduling interval coalescing of §3.2, and the protocol-violation
+// kill of §3.1.4 ("if a protocol violation is detected, the RMS kills the
+// application's processes and terminates the session").
+//
+// The server is clock-agnostic: driven by clock.SimClock it is the paper's
+// discrete-event simulator; driven by clock.RealClock behind a TCP
+// transport it is the real-life prototype RMS.
+package rms
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"coormv2/internal/clock"
+	"coormv2/internal/core"
+	"coormv2/internal/metrics"
+	"coormv2/internal/request"
+	"coormv2/internal/view"
+)
+
+// AppHandler receives RMS→application notifications. Implementations must
+// not block; they may call back into the Session (the server never holds
+// its lock while notifying).
+type AppHandler interface {
+	// OnViews delivers fresh non-preemptive and preemptive views (§3.1.4).
+	OnViews(nonPreempt, preempt view.View)
+	// OnStart notifies that a request started and delivers its node IDs
+	// (empty for pre-allocations).
+	OnStart(id request.ID, nodeIDs []int)
+	// OnKill notifies that the RMS terminated the session.
+	OnKill(reason string)
+}
+
+// RequestSpec is the application-provided part of a request (§A.1).
+type RequestSpec struct {
+	Cluster    view.ClusterID
+	N          int
+	Duration   float64 // seconds; math.Inf(1) for open-ended requests
+	Type       request.Type
+	RelatedHow request.Relation
+	RelatedTo  request.ID // ignored when RelatedHow == Free
+}
+
+// Config parametrizes a Server.
+type Config struct {
+	// Clusters maps cluster IDs to node counts.
+	Clusters map[view.ClusterID]int
+	// ReschedInterval is the §3.2 re-scheduling interval: the scheduling
+	// algorithm runs at most once per interval. The evaluation uses 1 s.
+	ReschedInterval float64
+	// Clock drives time; use clock.SimClock for simulations.
+	Clock clock.Clock
+	// Policy selects the preemptible division policy (default: filling).
+	Policy core.PreemptPolicy
+	// GracePeriod is how long an application may hold more preemptible
+	// resources than granted before it is killed. Zero selects the default
+	// of 5 re-scheduling intervals.
+	GracePeriod float64
+	// Clip optionally limits every application's non-preemptive view.
+	Clip view.View
+	// Metrics, when non-nil, receives allocation updates.
+	Metrics *metrics.Recorder
+}
+
+// Server is a CooRMv2 RMS instance.
+type Server struct {
+	mu    sync.Mutex
+	cfg   Config
+	sched *core.Scheduler
+	clk   clock.Clock
+
+	sessions map[int]*Session
+	nextApp  int
+	nextReq  request.ID
+
+	pools map[view.ClusterID]*idPool
+
+	schedPending bool
+	schedTimer   clock.Timer
+	wakeTimer    clock.Timer
+	lastRunAt    float64
+	ranOnce      bool
+
+	lastViews map[int][2]view.View
+
+	// deficitSince tracks, per app, since when it holds more preemptible
+	// nodes than granted (kill after GracePeriod).
+	deficitSince map[int]float64
+
+	// notifications queued during a locked section, delivered unlocked.
+	pending []func()
+}
+
+// NewServer creates an RMS server. It panics on an invalid configuration.
+func NewServer(cfg Config) *Server {
+	if cfg.Clock == nil {
+		panic("rms: Config.Clock is required")
+	}
+	if len(cfg.Clusters) == 0 {
+		panic("rms: at least one cluster is required")
+	}
+	if cfg.ReschedInterval <= 0 {
+		cfg.ReschedInterval = 1
+	}
+	if cfg.GracePeriod <= 0 {
+		cfg.GracePeriod = 5 * cfg.ReschedInterval
+	}
+	s := &Server{
+		cfg:          cfg,
+		sched:        core.NewScheduler(cfg.Clusters),
+		clk:          cfg.Clock,
+		sessions:     make(map[int]*Session),
+		pools:        make(map[view.ClusterID]*idPool),
+		lastViews:    make(map[int][2]view.View),
+		deficitSince: make(map[int]float64),
+		nextApp:      1,
+		nextReq:      1,
+	}
+	s.sched.SetPolicy(cfg.Policy)
+	if cfg.Clip != nil {
+		s.sched.SetClip(cfg.Clip)
+	}
+	for cid, n := range cfg.Clusters {
+		s.pools[cid] = newIDPool(n)
+	}
+	s.lastRunAt = math.Inf(-1)
+	return s
+}
+
+// Session is one application's connection to the RMS.
+type Session struct {
+	s      *Server
+	app    *core.AppState
+	h      AppHandler
+	killed bool
+	held   int // total node IDs currently held, for metrics
+}
+
+// AppID returns the RMS-assigned application ID.
+func (sess *Session) AppID() int { return sess.app.ID }
+
+// Connect registers an application and returns its session. The first view
+// push happens on the next scheduling round.
+func (s *Server) Connect(h AppHandler) *Session {
+	s.mu.Lock()
+	id := s.nextApp
+	s.nextApp++
+	app := s.sched.AddApp(id, s.clk.Now())
+	sess := &Session{s: s, app: app, h: h}
+	s.sessions[id] = sess
+	s.requestRunLocked()
+	s.mu.Unlock()
+	s.flush()
+	return sess
+}
+
+// Scheduler exposes the underlying scheduler for inspection (tests,
+// experiment harness). Mutating it directly is not supported.
+func (s *Server) Scheduler() *core.Scheduler { return s.sched }
+
+// Now returns the server's current time.
+func (s *Server) Now() float64 { return s.clk.Now() }
+
+// Request implements the request() operation (§3.1.3): it adds a new
+// request to the system and returns its ID.
+func (sess *Session) Request(spec RequestSpec) (request.ID, error) {
+	s := sess.s
+	s.mu.Lock()
+	if sess.killed {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("rms: session was terminated")
+	}
+	var parent *request.Request
+	if spec.RelatedHow != request.Free {
+		parent = sess.findRequestLocked(spec.RelatedTo)
+		if parent == nil {
+			s.mu.Unlock()
+			return 0, fmt.Errorf("rms: related request %d not found", spec.RelatedTo)
+		}
+	}
+	if _, ok := s.cfg.Clusters[spec.Cluster]; !ok {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("rms: unknown cluster %q", spec.Cluster)
+	}
+	id := s.nextReq
+	s.nextReq++
+	r := request.New(id, sess.app.ID, spec.Cluster, spec.N, spec.Duration, spec.Type, spec.RelatedHow, parent)
+	if err := r.Validate(); err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	sess.app.SetFor(spec.Type).Add(r)
+	s.requestRunLocked()
+	s.mu.Unlock()
+	s.flush()
+	return id, nil
+}
+
+// Done implements the done() operation (§3.1.3): it immediately terminates
+// a request. For started requests the duration is set to now − start-time.
+// released lists the node IDs the application gives back; for a request
+// followed by a NEXT child the remaining IDs are kept for the child
+// (§3.1.2). For a request with no NEXT successor all IDs are returned and
+// released may be nil.
+func (sess *Session) Done(id request.ID, released []int) error {
+	s := sess.s
+	s.mu.Lock()
+	if sess.killed {
+		s.mu.Unlock()
+		return fmt.Errorf("rms: session was terminated")
+	}
+	r := sess.findRequestLocked(id)
+	if r == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("rms: request %d not found", id)
+	}
+	if r.Finished {
+		s.mu.Unlock()
+		return fmt.Errorf("rms: request %d already finished", id)
+	}
+	if !r.Started() {
+		// A pending request is simply withdrawn.
+		sess.app.SetFor(r.Type).Remove(r)
+		s.requestRunLocked()
+		s.mu.Unlock()
+		s.flush()
+		return nil
+	}
+	now := s.clk.Now()
+	if err := sess.finishLocked(r, now, released); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.requestRunLocked()
+	s.mu.Unlock()
+	s.flush()
+	return nil
+}
+
+// Disconnect ends the session cleanly, releasing every resource.
+func (sess *Session) Disconnect() {
+	s := sess.s
+	s.mu.Lock()
+	if !sess.killed {
+		s.teardownLocked(sess)
+	}
+	s.mu.Unlock()
+	s.flush()
+}
+
+// findRequestLocked looks a request up across the application's three sets.
+func (sess *Session) findRequestLocked(id request.ID) *request.Request {
+	for _, set := range []*request.Set{sess.app.PA, sess.app.NP, sess.app.P} {
+		if r := set.ByID(id); r != nil {
+			return r
+		}
+	}
+	return nil
+}
+
+// hasPendingNextChildLocked reports whether some unstarted request is NEXT-
+// chained to r (its node IDs must then be preserved for hand-over).
+func (sess *Session) hasPendingNextChildLocked(r *request.Request) bool {
+	for _, q := range sess.app.Requests() {
+		if q.RelatedTo == r && q.RelatedHow == request.Next && !q.Started() && !q.Finished {
+			return true
+		}
+	}
+	return false
+}
+
+// finishLocked terminates a started request at time now, handling node-ID
+// release / hand-over.
+func (sess *Session) finishLocked(r *request.Request, now float64, released []int) error {
+	s := sess.s
+	if now < r.StartedAt {
+		now = r.StartedAt
+	}
+	r.Duration = now - r.StartedAt
+	if r.Duration == 0 {
+		// Keep a zero-length allocation representable; it occupies nothing.
+		r.Duration = 1e-9
+	}
+	r.Finished = true
+
+	if r.Type == request.PreAlloc {
+		return nil // pre-allocations hold no node IDs
+	}
+
+	// Which of the held IDs go back to the pool?
+	keepForChild := sess.hasPendingNextChildLocked(r)
+	if !keepForChild {
+		released = r.NodeIDs
+	} else {
+		for _, id := range released {
+			if !containsInt(r.NodeIDs, id) {
+				return fmt.Errorf("rms: released node %d is not held by request %d", id, r.ID)
+			}
+		}
+	}
+	if len(released) > 0 {
+		s.pools[r.Cluster].free(released)
+		r.NodeIDs = removeInts(r.NodeIDs, released)
+		sess.held -= len(released)
+		s.recordAllocLocked(sess, now)
+	}
+	return nil
+}
+
+// teardownLocked releases everything an application holds and removes it.
+func (s *Server) teardownLocked(sess *Session) {
+	now := s.clk.Now()
+	for _, r := range sess.app.Requests() {
+		if len(r.NodeIDs) > 0 {
+			s.pools[r.Cluster].free(r.NodeIDs)
+			r.NodeIDs = nil
+		}
+		r.Finished = true
+	}
+	sess.held = 0
+	s.recordAllocLocked(sess, now)
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.SetPreAlloc(sess.app.ID, now, 0)
+	}
+	sess.killed = true
+	s.sched.RemoveApp(sess.app.ID)
+	delete(s.sessions, sess.app.ID)
+	delete(s.lastViews, sess.app.ID)
+	delete(s.deficitSince, sess.app.ID)
+	s.requestRunLocked()
+}
+
+// killLocked terminates a misbehaving application (§3.1.4) and queues the
+// OnKill notification.
+func (s *Server) killLocked(sess *Session, reason string) {
+	h := sess.h
+	s.teardownLocked(sess)
+	s.pending = append(s.pending, func() { h.OnKill(reason) })
+}
+
+// requestRunLocked schedules a scheduling round, coalescing triggers so the
+// algorithm runs at most once per re-scheduling interval (§3.2).
+func (s *Server) requestRunLocked() {
+	if s.schedPending {
+		return
+	}
+	now := s.clk.Now()
+	delay := 0.0
+	if s.ranOnce {
+		if next := s.lastRunAt + s.cfg.ReschedInterval; next > now {
+			delay = next - now
+		}
+	}
+	s.schedPending = true
+	s.schedTimer = s.clk.AfterFunc(delay, "rms.schedule", s.runScheduled)
+}
+
+// runScheduled is the timer callback for a scheduling round.
+func (s *Server) runScheduled() {
+	s.mu.Lock()
+	s.schedPending = false
+	s.runLocked()
+	s.mu.Unlock()
+	s.flush()
+}
+
+// flush delivers queued notifications without holding the lock, so handlers
+// can synchronously call back into the server (the simulated applications
+// do exactly that).
+func (s *Server) flush() {
+	for {
+		s.mu.Lock()
+		if len(s.pending) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		batch := s.pending
+		s.pending = nil
+		s.mu.Unlock()
+		for _, fn := range batch {
+			fn()
+		}
+	}
+}
+
+// recordAllocLocked pushes the session's held-node count to the metrics
+// recorder. now must be the time captured at the start of the current
+// locked section: re-reading the wall clock mid-section would go backwards
+// relative to later bookkeeping that still uses the section's time.
+func (s *Server) recordAllocLocked(sess *Session, now float64) {
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.SetAlloc(sess.app.ID, now, sess.held)
+	}
+}
+
+// runLocked executes one scheduling round: sweep expired allocations, run
+// the core algorithm, start requests, push views, and enforce preemption.
+func (s *Server) runLocked() {
+	now := s.clk.Now()
+	s.lastRunAt = now
+	s.ranOnce = true
+
+	s.sweepExpiredLocked(now)
+
+	outcome := s.sched.Schedule(now)
+	s.startRequestsLocked(outcome, now)
+
+	// Starting requests changes availability; recompute views so
+	// applications always see post-start state.
+	outcome = s.sched.Schedule(now)
+	s.pushViewsLocked(outcome)
+	deadline := s.enforcePreemptionLocked(now)
+	s.recordPreAllocLocked(now)
+	s.armWakeLocked(now, deadline)
+
+	for _, sess := range s.sessions {
+		sess.app.PA.GC(now)
+		sess.app.NP.GC(now)
+		sess.app.P.GC(now)
+	}
+}
+
+// sweepExpiredLocked finishes started requests whose duration elapsed.
+// Applications normally call done() themselves; expiry is the contract's
+// backstop. Surplus IDs not handed to a NEXT child are returned to the pool
+// (for a shrinking NEXT update the application should have called done()
+// with its chosen IDs; if it did not, the RMS picks).
+func (s *Server) sweepExpiredLocked(now float64) {
+	for _, sess := range s.sessions {
+		for _, r := range sess.app.Requests() {
+			if !r.Started() || r.Finished || r.End() > now+1e-9 {
+				continue
+			}
+			r.Finished = true
+			if r.Type == request.PreAlloc {
+				continue
+			}
+			if sess.hasPendingNextChildLocked(r) {
+				continue // IDs stay parked on r for hand-over
+			}
+			if len(r.NodeIDs) > 0 {
+				s.pools[r.Cluster].free(r.NodeIDs)
+				sess.held -= len(r.NodeIDs)
+				r.NodeIDs = nil
+				s.recordAllocLocked(sess, now)
+			}
+		}
+	}
+}
+
+// startRequestsLocked processes the outcome's ToStart list in order,
+// allocating node IDs. A request whose IDs are not yet free is deferred:
+// it stays unstarted and is reconsidered when resources are released
+// (§A.5, situation 2).
+func (s *Server) startRequestsLocked(outcome *core.Outcome, now float64) {
+	for _, r := range outcome.ToStart {
+		sess := s.sessions[r.AppID]
+		if sess == nil {
+			continue
+		}
+		switch r.Type {
+		case request.PreAlloc:
+			r.StartedAt = now
+			h := sess.h
+			id := r.ID
+			s.pending = append(s.pending, func() { h.OnStart(id, nil) })
+
+		default:
+			// Inherit IDs from a finished NEXT parent.
+			var inherited []int
+			if r.RelatedHow == request.Next && r.RelatedTo != nil {
+				parent := r.RelatedTo
+				if parent.Ended(now) && len(parent.NodeIDs) > 0 {
+					inherited = parent.NodeIDs
+				}
+			}
+			want := r.NAlloc
+			pool := s.pools[r.Cluster]
+			if len(inherited) > want {
+				// A shrinking NEXT hand-over where the application did not
+				// name the IDs to drop (e.g. the bridge request of an
+				// announced update simply expired): the RMS picks the
+				// surplus and returns it to the pool.
+				surplus := inherited[want:]
+				inherited = inherited[:want]
+				pool.free(surplus)
+				sess.held -= len(surplus)
+			}
+			need := want - len(inherited)
+			if pool.available() < need {
+				// Defer: preempted resources have not been released yet.
+				// The parent keeps any trimmed ID list for the retry.
+				if r.RelatedTo != nil && len(inherited) > 0 {
+					r.RelatedTo.NodeIDs = inherited
+				}
+				s.recordAllocLocked(sess, now)
+				continue
+			}
+			ids := append(append([]int(nil), inherited...), pool.alloc(need)...)
+			if r.RelatedTo != nil && len(inherited) > 0 {
+				r.RelatedTo.NodeIDs = nil
+			}
+			r.NodeIDs = ids
+			r.StartedAt = now
+			sess.held += need
+			s.recordAllocLocked(sess, now)
+			h := sess.h
+			id := r.ID
+			cp := append([]int(nil), ids...)
+			s.pending = append(s.pending, func() { h.OnStart(id, cp) })
+		}
+	}
+}
+
+// pushViewsLocked queues OnViews notifications for applications whose views
+// changed since the last push. Views are trimmed to [now, ∞): their values
+// in the past are reconstruction artifacts.
+func (s *Server) pushViewsLocked(outcome *core.Outcome) {
+	now := s.clk.Now()
+	ids := make([]int, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		sess := s.sessions[id]
+		np := outcome.NonPreemptViews[id]
+		p := outcome.PreemptViews[id]
+		if np == nil {
+			np = view.New()
+		}
+		if p == nil {
+			p = view.New()
+		}
+		np = np.TrimBefore(now)
+		p = p.TrimBefore(now)
+		last, seen := s.lastViews[id]
+		if seen && last[0].Equal(np) && last[1].Equal(p) {
+			continue
+		}
+		s.lastViews[id] = [2]view.View{np, p}
+		h := sess.h
+		npc, pc := np.Clone(), p.Clone()
+		s.pending = append(s.pending, func() { h.OnViews(npc, pc) })
+	}
+}
+
+// enforcePreemptionLocked kills applications that keep holding more
+// preemptible resources than granted past the grace period ("applications
+// which steal resources", §A.6). It returns the earliest pending kill
+// deadline (+Inf if none) so the server can arm a wake-up for it.
+func (s *Server) enforcePreemptionLocked(now float64) float64 {
+	var toKill []*Session
+	earliest := math.Inf(1)
+	for id, sess := range s.sessions {
+		deficit := false
+		for _, r := range sess.app.P.All() {
+			if r.Started() && !r.Finished && len(r.NodeIDs) > r.NAlloc {
+				deficit = true
+				break
+			}
+		}
+		if !deficit {
+			delete(s.deficitSince, id)
+			continue
+		}
+		since, ok := s.deficitSince[id]
+		if !ok {
+			since = now
+			s.deficitSince[id] = now
+		}
+		deadline := since + s.cfg.GracePeriod
+		if now >= deadline {
+			toKill = append(toKill, sess)
+		} else if deadline < earliest {
+			earliest = deadline
+		}
+	}
+	for _, sess := range toKill {
+		s.killLocked(sess, "protocol violation: preemptible resources not released within the grace period")
+	}
+	return earliest
+}
+
+// recordPreAllocLocked updates the accounting extension's pre-allocation
+// integrals.
+func (s *Server) recordPreAllocLocked(now float64) {
+	if s.cfg.Metrics == nil {
+		return
+	}
+	for id, sess := range s.sessions {
+		pre := 0
+		for _, r := range sess.app.PA.All() {
+			if r.Started() && !r.Ended(now) {
+				pre += r.N
+			}
+		}
+		s.cfg.Metrics.SetPreAlloc(id, now, pre)
+	}
+}
+
+// armWakeLocked sets a timer for the next interesting instant: the earliest
+// future request start, allocation end, or preemption-kill deadline.
+func (s *Server) armWakeLocked(now float64, deadline float64) {
+	next := deadline
+	for _, sess := range s.sessions {
+		for _, r := range sess.app.Requests() {
+			if !r.Started() && !r.Finished && r.ScheduledAt > now && !math.IsInf(r.ScheduledAt, 1) {
+				if r.ScheduledAt < next {
+					next = r.ScheduledAt
+				}
+			}
+			if r.Started() && !r.Finished {
+				if end := r.End(); end > now && end < next {
+					next = end
+				}
+			}
+		}
+	}
+	if s.wakeTimer != nil {
+		s.wakeTimer.Stop()
+		s.wakeTimer = nil
+	}
+	if !math.IsInf(next, 1) {
+		s.wakeTimer = s.clk.AfterFunc(next-now, "rms.wake", func() {
+			s.mu.Lock()
+			if !s.schedPending {
+				s.requestRunLocked()
+			}
+			s.mu.Unlock()
+			s.flush()
+		})
+	}
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func removeInts(xs, rm []int) []int {
+	out := xs[:0]
+	for _, x := range xs {
+		if !containsInt(rm, x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,469 @@
+// Package stepfunc implements integer-valued step functions of continuous
+// time. They are the Cluster Availability Profiles (CAPs) of the paper
+// (§3.1.4 and §A.3): the x-axis is absolute time in seconds, the y-axis is
+// a node count.
+//
+// A StepFunc is immutable: every operation returns a new value. Functions
+// are defined on [0, +Inf); the last segment extends to infinity. Values
+// may be negative (differences of profiles are used as scratch values by
+// the scheduler), and callers clamp where the domain requires it.
+package stepfunc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Inf is the time/duration value representing "forever".
+var Inf = math.Inf(1)
+
+type point struct {
+	t float64 // start time of the segment
+	n int     // value on [t, nextT)
+}
+
+// StepFunc is a right-continuous step function of time.
+// The zero value is the constant-zero function.
+type StepFunc struct {
+	// pts is sorted by strictly increasing t, with pts[0].t == 0 and no
+	// two consecutive equal values. An empty slice means constant zero.
+	pts []point
+}
+
+// Zero returns the constant-zero step function.
+func Zero() *StepFunc { return &StepFunc{} }
+
+// Constant returns the step function that is n everywhere.
+func Constant(n int) *StepFunc {
+	if n == 0 {
+		return Zero()
+	}
+	return &StepFunc{pts: []point{{0, n}}}
+}
+
+// Step describes one segment of a profile in the paper's list-of-pairs
+// notation: the value n holds for the given Duration.
+type Step struct {
+	Duration float64
+	N        int
+}
+
+// FromSteps builds a step function from the paper's (duration, node-count)
+// list notation, starting at time 0. After the listed segments the function
+// is 0, matching §A.3 ("0 nodes are available for t ∈ [7200, ∞)"). A final
+// segment with Duration == Inf extends its value forever.
+func FromSteps(steps ...Step) *StepFunc {
+	var pts []point
+	t := 0.0
+	for _, s := range steps {
+		if s.Duration < 0 {
+			panic("stepfunc: negative duration")
+		}
+		if s.Duration == 0 {
+			continue
+		}
+		pts = append(pts, point{t, s.N})
+		if math.IsInf(s.Duration, 1) {
+			return normalize(pts)
+		}
+		t += s.Duration
+	}
+	pts = append(pts, point{t, 0})
+	return normalize(pts)
+}
+
+// Rect returns a step function that is n on [t0, t0+dur) and 0 elsewhere.
+// dur may be Inf.
+func Rect(t0, dur float64, n int) *StepFunc {
+	if t0 < 0 {
+		panic("stepfunc: negative rect start")
+	}
+	if dur < 0 {
+		panic("stepfunc: negative rect duration")
+	}
+	if dur == 0 || n == 0 {
+		return Zero()
+	}
+	pts := []point{{0, 0}}
+	if t0 == 0 {
+		pts = pts[:0]
+	}
+	pts = append(pts, point{t0, n})
+	if !math.IsInf(dur, 1) {
+		pts = append(pts, point{t0 + dur, 0})
+	}
+	return normalize(pts)
+}
+
+// normalize sorts (stably, input is expected sorted), anchors the function at
+// t=0 and merges consecutive equal values.
+func normalize(pts []point) *StepFunc {
+	if len(pts) == 0 {
+		return Zero()
+	}
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].t < pts[j].t })
+	out := make([]point, 0, len(pts)+1)
+	if pts[0].t > 0 {
+		out = append(out, point{0, 0})
+	}
+	for _, p := range pts {
+		if len(out) > 0 && out[len(out)-1].t == p.t {
+			out[len(out)-1].n = p.n // later point at same t wins
+			continue
+		}
+		out = append(out, p)
+	}
+	// Merge consecutive equal values.
+	merged := out[:0]
+	for _, p := range out {
+		if len(merged) > 0 && merged[len(merged)-1].n == p.n {
+			continue
+		}
+		merged = append(merged, p)
+	}
+	if len(merged) == 1 && merged[0].n == 0 {
+		return Zero()
+	}
+	return &StepFunc{pts: merged}
+}
+
+// Value returns the function value at time t. Values for t < 0 are reported
+// as the value at 0 (the domain starts at 0).
+func (f *StepFunc) Value(t float64) int {
+	if len(f.pts) == 0 {
+		return 0
+	}
+	// Binary search for the last point with pts[i].t <= t.
+	i := sort.Search(len(f.pts), func(i int) bool { return f.pts[i].t > t })
+	if i == 0 {
+		return f.pts[0].n
+	}
+	return f.pts[i-1].n
+}
+
+// IsZero reports whether the function is identically zero.
+func (f *StepFunc) IsZero() bool { return len(f.pts) == 0 }
+
+// Clone returns a deep copy. Because StepFunc is treated as immutable this
+// is rarely needed, but it keeps ownership obvious at package boundaries.
+func (f *StepFunc) Clone() *StepFunc {
+	return &StepFunc{pts: append([]point(nil), f.pts...)}
+}
+
+// Equal reports whether f and g are the same function.
+func (f *StepFunc) Equal(g *StepFunc) bool {
+	if len(f.pts) != len(g.pts) {
+		return false
+	}
+	for i := range f.pts {
+		if f.pts[i] != g.pts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Breakpoints returns the times at which the function changes value,
+// always including 0.
+func (f *StepFunc) Breakpoints() []float64 {
+	if len(f.pts) == 0 {
+		return []float64{0}
+	}
+	out := make([]float64, len(f.pts))
+	for i, p := range f.pts {
+		out[i] = p.t
+	}
+	if out[0] != 0 {
+		out = append([]float64{0}, out...)
+	}
+	return out
+}
+
+// combine merges f and g pointwise with op.
+func combine(f, g *StepFunc, op func(a, b int) int) *StepFunc {
+	i, j := 0, 0
+	var pts []point
+	va, vb := 0, 0
+	for i < len(f.pts) || j < len(g.pts) {
+		var t float64
+		switch {
+		case i < len(f.pts) && j < len(g.pts):
+			t = math.Min(f.pts[i].t, g.pts[j].t)
+		case i < len(f.pts):
+			t = f.pts[i].t
+		default:
+			t = g.pts[j].t
+		}
+		if i < len(f.pts) && f.pts[i].t == t {
+			va = f.pts[i].n
+			i++
+		}
+		if j < len(g.pts) && g.pts[j].t == t {
+			vb = g.pts[j].n
+			j++
+		}
+		pts = append(pts, point{t, op(va, vb)})
+	}
+	return normalize(pts)
+}
+
+// Add returns f + g (the paper's view sum).
+func (f *StepFunc) Add(g *StepFunc) *StepFunc {
+	return combine(f, g, func(a, b int) int { return a + b })
+}
+
+// Sub returns f − g (the paper's view difference).
+func (f *StepFunc) Sub(g *StepFunc) *StepFunc {
+	return combine(f, g, func(a, b int) int { return a - b })
+}
+
+// Max returns the pointwise maximum of f and g (the paper's view union).
+func (f *StepFunc) Max(g *StepFunc) *StepFunc {
+	return combine(f, g, func(a, b int) int {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// Min returns the pointwise minimum of f and g. It implements view clipping
+// (§3.2: "the amount of resources that an application can pre-allocate can
+// be limited, by clipping its non-preemptible view").
+func (f *StepFunc) Min(g *StepFunc) *StepFunc {
+	return combine(f, g, func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
+	})
+}
+
+// ClampMin returns the function max(f, lo) pointwise with a scalar.
+func (f *StepFunc) ClampMin(lo int) *StepFunc {
+	return f.Max(Constant(lo))
+}
+
+// AddRect returns f plus a rectangle of height n on [t0, t0+dur).
+// It is the building block for the paper's "generated views" (Algorithm 1,
+// line 22). dur may be Inf.
+func (f *StepFunc) AddRect(t0, dur float64, n int) *StepFunc {
+	return f.Add(Rect(t0, dur, n))
+}
+
+// MinOn returns the minimum value of f on [t0, t1). t1 may be Inf.
+// If t1 <= t0 the interval is empty and MinOn returns math.MaxInt.
+func (f *StepFunc) MinOn(t0, t1 float64) int {
+	if t1 <= t0 {
+		return math.MaxInt
+	}
+	if len(f.pts) == 0 {
+		return 0
+	}
+	min := f.Value(t0)
+	i := sort.Search(len(f.pts), func(i int) bool { return f.pts[i].t > t0 })
+	for ; i < len(f.pts) && f.pts[i].t < t1; i++ {
+		if f.pts[i].n < min {
+			min = f.pts[i].n
+		}
+	}
+	return min
+}
+
+// Integral returns the integral of f over [t0, t1) in value·seconds.
+// If the integrand is non-zero on an infinite interval the result is ±Inf.
+func (f *StepFunc) Integral(t0, t1 float64) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	if len(f.pts) == 0 {
+		return 0
+	}
+	total := 0.0
+	// Walk segments overlapping [t0, t1).
+	for i := range f.pts {
+		segStart := f.pts[i].t
+		segEnd := Inf
+		if i+1 < len(f.pts) {
+			segEnd = f.pts[i+1].t
+		}
+		lo := math.Max(segStart, t0)
+		hi := math.Min(segEnd, t1)
+		if hi <= lo {
+			continue
+		}
+		if math.IsInf(hi, 1) {
+			if f.pts[i].n > 0 {
+				return Inf
+			}
+			if f.pts[i].n < 0 {
+				return math.Inf(-1)
+			}
+			continue
+		}
+		total += float64(f.pts[i].n) * (hi - lo)
+	}
+	return total
+}
+
+// FindHole returns the earliest time ts >= after such that
+// MinOn(ts, ts+dur) >= n, i.e. the first moment an allocation of n nodes for
+// dur seconds fits under the profile. It implements the paper's findHole
+// (§A.3). dur may be Inf. If the profile never satisfies the request,
+// FindHole returns +Inf.
+func (f *StepFunc) FindHole(n int, dur, after float64) float64 {
+	if after < 0 {
+		after = 0
+	}
+	if dur <= 0 {
+		return after
+	}
+	if n <= 0 {
+		return after
+	}
+	if len(f.pts) == 0 {
+		return Inf // constant zero can never serve n > 0
+	}
+	// Candidate start: "after", then each breakpoint where the value rises.
+	ts := after
+	for {
+		// Check window [ts, ts+dur).
+		end := ts + dur
+		ok := true
+		var failAt float64
+		if f.Value(ts) < n {
+			ok = false
+			failAt = ts
+		} else {
+			i := sort.Search(len(f.pts), func(i int) bool { return f.pts[i].t > ts })
+			for ; i < len(f.pts) && (math.IsInf(dur, 1) || f.pts[i].t < end); i++ {
+				if f.pts[i].n < n {
+					ok = false
+					failAt = f.pts[i].t
+					break
+				}
+			}
+		}
+		if ok {
+			return ts
+		}
+		// Jump to the next breakpoint after failAt where the value becomes >= n.
+		i := sort.Search(len(f.pts), func(i int) bool { return f.pts[i].t > failAt })
+		next := Inf
+		for ; i < len(f.pts); i++ {
+			if f.pts[i].n >= n {
+				next = f.pts[i].t
+				break
+			}
+		}
+		if math.IsInf(next, 1) {
+			return Inf
+		}
+		ts = next
+	}
+}
+
+// FirstBelow returns the earliest time t >= after at which the value drops
+// strictly below level, or +Inf if the value stays >= level forever.
+// The PSA resource-selection logic (§4: "select only the resources it can
+// actually take advantage of") uses this to measure availability windows.
+func (f *StepFunc) FirstBelow(level int, after float64) float64 {
+	if after < 0 {
+		after = 0
+	}
+	if f.Value(after) < level {
+		return after
+	}
+	i := sort.Search(len(f.pts), func(i int) bool { return f.pts[i].t > after })
+	for ; i < len(f.pts); i++ {
+		if f.pts[i].n < level {
+			return f.pts[i].t
+		}
+	}
+	return Inf
+}
+
+// NonNegative reports whether the function is >= 0 everywhere. The scheduler
+// uses it as an internal oversubscription check.
+func (f *StepFunc) NonNegative() bool {
+	for _, p := range f.pts {
+		if p.n < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxValue returns the maximum value the function attains.
+func (f *StepFunc) MaxValue() int {
+	m := 0
+	if len(f.pts) > 0 {
+		m = f.pts[0].n
+	}
+	for _, p := range f.pts {
+		if p.n > m {
+			m = p.n
+		}
+	}
+	return m
+}
+
+// TrimBefore returns a function that equals f on [t, ∞) and extends f(t)
+// backwards to 0. The RMS trims views before pushing them: values in the
+// past are reconstruction artifacts, not information.
+func (f *StepFunc) TrimBefore(t float64) *StepFunc {
+	if t <= 0 || len(f.pts) == 0 {
+		return f
+	}
+	i := sort.Search(len(f.pts), func(i int) bool { return f.pts[i].t > t })
+	// f.pts[i-1] covers t (i >= 1 because pts[0].t == 0 <= t).
+	pts := append([]point{{0, f.pts[i-1].n}}, f.pts[i:]...)
+	return normalize(pts)
+}
+
+// Steps returns the function as the paper's list of (duration, node-count)
+// pairs starting at time 0. The final step has Duration == Inf. It is the
+// inverse of FromSteps and is used for wire serialization.
+func (f *StepFunc) Steps() []Step {
+	if len(f.pts) == 0 {
+		return []Step{{Inf, 0}}
+	}
+	out := make([]Step, 0, len(f.pts)+1)
+	if f.pts[0].t > 0 {
+		out = append(out, Step{f.pts[0].t, 0})
+	}
+	for i, p := range f.pts {
+		dur := Inf
+		if i+1 < len(f.pts) {
+			dur = f.pts[i+1].t - p.t
+		}
+		out = append(out, Step{dur, p.n})
+	}
+	return out
+}
+
+// String renders the function in the paper's list-of-pairs notation,
+// e.g. "[(3600, 4) (3600, 3) (inf, 0)]".
+func (f *StepFunc) String() string {
+	if len(f.pts) == 0 {
+		return "[(inf, 0)]"
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, p := range f.pts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		var dur string
+		if i+1 < len(f.pts) {
+			dur = fmt.Sprintf("%g", f.pts[i+1].t-p.t)
+		} else {
+			dur = "inf"
+		}
+		fmt.Fprintf(&b, "(%s, %d)", dur, p.n)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

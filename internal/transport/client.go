@@ -1,0 +1,226 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"coormv2/internal/proto"
+	"coormv2/internal/request"
+	"coormv2/internal/rms"
+	"coormv2/internal/view"
+)
+
+// Handler receives asynchronous RMS notifications on the client side.
+// It is the client-side twin of rms.AppHandler.
+type Handler interface {
+	OnViews(nonPreempt, preempt view.View)
+	OnStart(id request.ID, nodeIDs []int)
+	OnKill(reason string)
+}
+
+// Client is a CooRMv2 application endpoint speaking the TCP protocol.
+// Request and Done are synchronous (they wait for the server's ack);
+// notifications are dispatched to the Handler from a reader goroutine.
+type Client struct {
+	conn net.Conn
+	h    Handler
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+
+	mu      sync.Mutex
+	nextSeq int64
+	waiters map[int64]chan *proto.Message
+	appID   int
+	closed  bool
+	readErr error
+	done    chan struct{}
+
+	// notif decouples handler dispatch from the read loop so handlers can
+	// synchronously call Request/Done (the in-process server gives the
+	// same guarantee by notifying outside its lock).
+	notif        chan func()
+	dispatchDone chan struct{}
+}
+
+// Dial connects to a CooRMv2 daemon and performs the connect handshake.
+func Dial(addr string, h Handler) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	c := &Client{
+		conn:         conn,
+		h:            h,
+		w:            bufio.NewWriter(conn),
+		waiters:      make(map[int64]chan *proto.Message),
+		done:         make(chan struct{}),
+		notif:        make(chan func(), 1024),
+		dispatchDone: make(chan struct{}),
+		nextSeq:      1,
+	}
+	if err := c.send(proto.Message{Type: proto.MsgConnect}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	// Read the connected frame synchronously before starting the pump.
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	if !scanner.Scan() {
+		conn.Close()
+		return nil, errors.New("transport: connection closed during handshake")
+	}
+	m, err := proto.Unmarshal(scanner.Bytes())
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if m.Type != proto.MsgConnected {
+		conn.Close()
+		return nil, fmt.Errorf("transport: handshake got %q", m.Type)
+	}
+	c.appID = m.AppID
+	go c.dispatchLoop()
+	go c.readLoop(scanner)
+	return c, nil
+}
+
+// dispatchLoop delivers notifications in order, off the read goroutine.
+func (c *Client) dispatchLoop() {
+	defer close(c.dispatchDone)
+	for fn := range c.notif {
+		fn()
+	}
+}
+
+// AppID returns the RMS-assigned application ID.
+func (c *Client) AppID() int { return c.appID }
+
+func (c *Client) send(m proto.Message) error {
+	data, err := m.Marshal()
+	if err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.w.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("transport: write: %w", err)
+	}
+	return c.w.Flush()
+}
+
+// call sends m with a fresh sequence number and waits for the matching
+// ack or error frame.
+func (c *Client) call(m proto.Message) (*proto.Message, error) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("transport: client closed")
+		}
+		return nil, err
+	}
+	seq := c.nextSeq
+	c.nextSeq++
+	ch := make(chan *proto.Message, 1)
+	c.waiters[seq] = ch
+	c.mu.Unlock()
+
+	m.Seq = seq
+	if err := c.send(m); err != nil {
+		c.mu.Lock()
+		delete(c.waiters, seq)
+		c.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case reply := <-ch:
+		if reply.Type == proto.MsgError {
+			return nil, fmt.Errorf("rms: %s", reply.Reason)
+		}
+		return reply, nil
+	case <-c.done:
+		if c.readErr != nil {
+			return nil, c.readErr
+		}
+		return nil, errors.New("transport: connection closed")
+	}
+}
+
+// Request sends the request() operation and returns the RMS-assigned ID.
+func (c *Client) Request(spec rms.RequestSpec) (request.ID, error) {
+	reply, err := c.call(proto.EncodeRequestSpec(spec, 0))
+	if err != nil {
+		return 0, err
+	}
+	return request.ID(reply.ReqID), nil
+}
+
+// Done sends the done() operation.
+func (c *Client) Done(id request.ID, released []int) error {
+	_, err := c.call(proto.Message{Type: proto.MsgDone, ReqID: int64(id), Released: released})
+	return err
+}
+
+// Close disconnects cleanly and waits for both pumps to drain.
+func (c *Client) Close() error {
+	_ = c.send(proto.Message{Type: proto.MsgBye})
+	err := c.conn.Close()
+	<-c.done
+	<-c.dispatchDone
+	return err
+}
+
+func (c *Client) readLoop(scanner *bufio.Scanner) {
+	defer func() {
+		c.mu.Lock()
+		c.closed = true
+		for seq, ch := range c.waiters {
+			close(ch)
+			delete(c.waiters, seq)
+		}
+		c.mu.Unlock()
+		close(c.notif)
+		close(c.done)
+	}()
+	for scanner.Scan() {
+		m, err := proto.Unmarshal(scanner.Bytes())
+		if err != nil {
+			c.readErr = err
+			return
+		}
+		switch m.Type {
+		case proto.MsgReqAck, proto.MsgError:
+			if m.Seq == 0 {
+				continue // unsolicited error
+			}
+			c.mu.Lock()
+			ch := c.waiters[m.Seq]
+			delete(c.waiters, m.Seq)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- m
+			}
+		case proto.MsgViews:
+			np, err1 := m.NonPreemptView.DecodeView()
+			p, err2 := m.PreemptView.DecodeView()
+			if err1 != nil || err2 != nil {
+				c.readErr = errors.Join(err1, err2)
+				return
+			}
+			c.notif <- func() { c.h.OnViews(np, p) }
+		case proto.MsgStart:
+			id, ids := request.ID(m.ReqID), m.NodeIDs
+			c.notif <- func() { c.h.OnStart(id, ids) }
+		case proto.MsgKill:
+			reason := m.Reason
+			c.notif <- func() { c.h.OnKill(reason) }
+			return
+		}
+	}
+	c.readErr = scanner.Err()
+}

@@ -1,0 +1,199 @@
+// Package transport exposes a CooRMv2 RMS over TCP using the
+// newline-delimited JSON protocol of internal/proto. Together with
+// clock.RealClock it is the "real-life prototype RMS" of §5: the simulator
+// and the daemon share every line of scheduling code.
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"coormv2/internal/proto"
+	"coormv2/internal/request"
+	"coormv2/internal/rms"
+	"coormv2/internal/view"
+)
+
+// Server accepts TCP connections and bridges them to rms.Server sessions.
+type Server struct {
+	rms *rms.Server
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// Logf logs transport events; defaults to log.Printf. Tests silence it.
+	Logf func(format string, args ...any)
+}
+
+// NewServer wraps an RMS server. Call Serve to start accepting.
+func NewServer(r *rms.Server) *Server {
+	return &Server{rms: r, conns: make(map[net.Conn]struct{}), Logf: log.Printf}
+}
+
+// Listen binds the given address ("host:port"; use ":0" for an ephemeral
+// port) and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: %w", err)
+	}
+	s.ln = ln
+	return ln.Addr().String(), nil
+}
+
+// Serve accepts connections until Close is called. It returns nil on a
+// clean shutdown.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return errors.New("transport: Serve before Listen")
+	}
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("transport: accept: %w", err)
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and closes all live connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// connHandler adapts one TCP connection to rms.AppHandler.
+type connHandler struct {
+	mu   sync.Mutex
+	w    *bufio.Writer
+	conn net.Conn
+	logf func(string, ...any)
+}
+
+func (h *connHandler) send(m proto.Message) {
+	data, err := m.Marshal()
+	if err != nil {
+		h.logf("transport: marshal: %v", err)
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, err := h.w.Write(append(data, '\n')); err == nil {
+		h.w.Flush()
+	}
+}
+
+func (h *connHandler) OnViews(np, p view.View) {
+	h.send(proto.Message{
+		Type:           proto.MsgViews,
+		NonPreemptView: proto.EncodeView(np),
+		PreemptView:    proto.EncodeView(p),
+	})
+}
+
+func (h *connHandler) OnStart(id request.ID, nodeIDs []int) {
+	h.send(proto.Message{Type: proto.MsgStart, ReqID: int64(id), NodeIDs: nodeIDs})
+}
+
+func (h *connHandler) OnKill(reason string) {
+	h.send(proto.Message{Type: proto.MsgKill, Reason: reason})
+	h.conn.Close()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	h := &connHandler{w: bufio.NewWriter(conn), conn: conn, logf: s.Logf}
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+
+	// The first frame must be a connect.
+	if !scanner.Scan() {
+		return
+	}
+	m, err := proto.Unmarshal(scanner.Bytes())
+	if err != nil || m.Type != proto.MsgConnect {
+		h.send(proto.Message{Type: proto.MsgError, Reason: "expected connect"})
+		return
+	}
+	sess := s.rms.Connect(h)
+	h.send(proto.Message{Type: proto.MsgConnected, AppID: sess.AppID()})
+
+	defer sess.Disconnect()
+	for scanner.Scan() {
+		m, err := proto.Unmarshal(scanner.Bytes())
+		if err != nil {
+			h.send(proto.Message{Type: proto.MsgError, Reason: err.Error()})
+			continue
+		}
+		switch m.Type {
+		case proto.MsgRequest:
+			spec, err := m.DecodeRequestSpec()
+			if err != nil {
+				h.send(proto.Message{Type: proto.MsgError, Seq: m.Seq, Reason: err.Error()})
+				continue
+			}
+			id, err := sess.Request(spec)
+			if err != nil {
+				h.send(proto.Message{Type: proto.MsgError, Seq: m.Seq, Reason: err.Error()})
+				continue
+			}
+			h.send(proto.Message{Type: proto.MsgReqAck, Seq: m.Seq, ReqID: int64(id)})
+
+		case proto.MsgDone:
+			if err := sess.Done(request.ID(m.ReqID), m.Released); err != nil {
+				h.send(proto.Message{Type: proto.MsgError, Seq: m.Seq, Reason: err.Error()})
+				continue
+			}
+			h.send(proto.Message{Type: proto.MsgReqAck, Seq: m.Seq, ReqID: m.ReqID})
+
+		case proto.MsgBye:
+			return
+
+		default:
+			h.send(proto.Message{Type: proto.MsgError, Seq: m.Seq,
+				Reason: fmt.Sprintf("unexpected message %q", m.Type)})
+		}
+	}
+	if err := scanner.Err(); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		s.Logf("transport: read: %v", err)
+	}
+}

@@ -1,0 +1,222 @@
+// Package view implements the paper's views (§3.1.4, §A.3): maps from a
+// cluster ID to a Cluster Availability Profile (a step function of time).
+// The RMS pushes two views to every application — a non-preemptive view and
+// a preemptive view — and the scheduler manipulates views as scratch values
+// while computing a schedule.
+//
+// Views are treated as immutable: every operation returns a new View.
+package view
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"coormv2/internal/stepfunc"
+)
+
+// ClusterID identifies a cluster. The paper's evaluation uses one large
+// homogeneous cluster, but the interface is multi-cluster throughout
+// (requests carry a cluster ID, §3.1.1).
+type ClusterID string
+
+// View maps cluster IDs to availability profiles. A missing entry is the
+// constant-zero profile.
+type View map[ClusterID]*stepfunc.StepFunc
+
+// New returns an empty view (all clusters zero).
+func New() View { return View{} }
+
+// Of builds a view from cluster/profile pairs.
+func Of(pairs map[ClusterID]*stepfunc.StepFunc) View {
+	v := New()
+	for cid, f := range pairs {
+		if f != nil && !f.IsZero() {
+			v[cid] = f
+		}
+	}
+	return v
+}
+
+// Constant returns a view in which every listed cluster has n nodes forever.
+func Constant(n int, cids ...ClusterID) View {
+	v := New()
+	for _, cid := range cids {
+		v[cid] = stepfunc.Constant(n)
+	}
+	return v
+}
+
+// Get returns the profile for cid (never nil; zero profile if absent or
+// explicitly nil).
+func (v View) Get(cid ClusterID) *stepfunc.StepFunc {
+	if f, ok := v[cid]; ok && f != nil {
+		return f
+	}
+	return stepfunc.Zero()
+}
+
+// Clusters returns the cluster IDs present in the view, sorted.
+func (v View) Clusters() []ClusterID {
+	out := make([]ClusterID, 0, len(v))
+	for cid := range v {
+		out = append(out, cid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy of the view.
+func (v View) Clone() View {
+	out := make(View, len(v))
+	for cid, f := range v {
+		out[cid] = f
+	}
+	return out
+}
+
+// combine merges two views cluster-wise with op.
+func combine(a, b View, op func(x, y *stepfunc.StepFunc) *stepfunc.StepFunc) View {
+	out := New()
+	seen := map[ClusterID]bool{}
+	for cid := range a {
+		seen[cid] = true
+	}
+	for cid := range b {
+		seen[cid] = true
+	}
+	for cid := range seen {
+		f := op(a.Get(cid), b.Get(cid))
+		if !f.IsZero() {
+			out[cid] = f
+		}
+	}
+	return out
+}
+
+// Add returns the cluster-wise sum a + b (the paper's "+" on views).
+func (v View) Add(o View) View {
+	return combine(v, o, func(x, y *stepfunc.StepFunc) *stepfunc.StepFunc { return x.Add(y) })
+}
+
+// Sub returns the cluster-wise difference a − b (the paper's "−" on views).
+func (v View) Sub(o View) View {
+	return combine(v, o, func(x, y *stepfunc.StepFunc) *stepfunc.StepFunc { return x.Sub(y) })
+}
+
+// Union returns the cluster-wise pointwise maximum (the paper's "∪").
+func (v View) Union(o View) View {
+	return combine(v, o, func(x, y *stepfunc.StepFunc) *stepfunc.StepFunc { return x.Max(y) })
+}
+
+// Clip returns the cluster-wise pointwise minimum with o. It implements the
+// administrator policy suggested in §3.2: limiting how much an application
+// may pre-allocate by clipping its non-preemptible view.
+func (v View) Clip(o View) View {
+	return combine(v, o, func(x, y *stepfunc.StepFunc) *stepfunc.StepFunc { return x.Min(y) })
+}
+
+// ClampMin returns the view with every profile clamped below at lo
+// (typically 0, to present applications only non-negative availability).
+func (v View) ClampMin(lo int) View {
+	out := New()
+	for cid, f := range v {
+		g := f.ClampMin(lo)
+		if !g.IsZero() {
+			out[cid] = g
+		}
+	}
+	return out
+}
+
+// TrimBefore returns the view with every profile's pre-t history replaced
+// by its value at t (see stepfunc.TrimBefore).
+func (v View) TrimBefore(t float64) View {
+	out := New()
+	for cid, f := range v {
+		g := f.TrimBefore(t)
+		if !g.IsZero() {
+			out[cid] = g
+		}
+	}
+	return out
+}
+
+// AddRect returns the view with a rectangle of n nodes on [t0, t0+dur)
+// added on cluster cid. It is Algorithm 1's
+// "Vo ← Vo + {r.cid : [(r.scheduledAt, 0), (r.duration, r.nalloc)]}".
+func (v View) AddRect(cid ClusterID, t0, dur float64, n int) View {
+	out := v.Clone()
+	out[cid] = out.Get(cid).AddRect(t0, dur, n)
+	if out[cid].IsZero() {
+		delete(out, cid)
+	}
+	return out
+}
+
+// Alloc returns the node-count that can be allocated on cluster cid during
+// [t0, t0+dur) without exceeding the view, capped at want. It implements the
+// paper's alloc() (§A.3), used to compute nalloc for preemptible requests.
+// Negative availability counts as zero.
+func (v View) Alloc(cid ClusterID, want int, t0, dur float64) int {
+	if want <= 0 {
+		return 0
+	}
+	min := v.Get(cid).MinOn(t0, t0+dur)
+	if min > want {
+		return want
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// FindHole returns the first time >= after at which n nodes are available on
+// cluster cid for dur seconds (the paper's findHole, §A.3). It returns +Inf
+// if the request can never be served from this view.
+func (v View) FindHole(cid ClusterID, n int, dur, after float64) float64 {
+	return v.Get(cid).FindHole(n, dur, after)
+}
+
+// Equal reports whether two views are identical. The RMS uses it to push
+// view updates only when something actually changed.
+func (v View) Equal(o View) bool {
+	for cid := range v {
+		if !v.Get(cid).Equal(o.Get(cid)) {
+			return false
+		}
+	}
+	for cid := range o {
+		if _, ok := v[cid]; !ok && !o.Get(cid).IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+// NonNegative reports whether every profile in the view is >= 0 everywhere.
+// The scheduler asserts this on the availability views it exposes.
+func (v View) NonNegative() bool {
+	for _, f := range v {
+		if !f.NonNegative() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the view in the paper's notation, e.g.
+// "{a: [(3600, 4) (3600, 3) (inf, 0)], b: [(inf, 6)]}".
+func (v View) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, cid := range v.Clusters() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %s", cid, v[cid])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
