@@ -1,0 +1,3 @@
+module coormv2
+
+go 1.24

@@ -376,11 +376,11 @@ func (p *PSA) plan() {
 	batches := map[float64][]int{}     // release time -> node IDs (graceful)
 	killBatches := map[float64][]int{} // drop time -> node IDs (kill)
 	runMin := len(p.nodes)
-	for _, bp := range v.Breakpoints() {
+	for k := 0; k < v.Len(); k++ {
+		bp, val := v.At(k)
 		if bp <= now {
 			continue
 		}
-		val := v.Value(bp)
 		if val < 0 {
 			val = 0
 		}

@@ -21,6 +21,8 @@ import (
 	"math"
 
 	"coormv2/internal/request"
+	"coormv2/internal/stepfunc"
+	"coormv2/internal/view"
 )
 
 // timeEps is the tolerance when comparing scheduled times against "now".
@@ -29,21 +31,67 @@ import (
 const timeEps = 1e-9
 
 // reqQueue is a FIFO of requests used by the fixed-point loops of
-// Algorithms 1 and 2.
+// Algorithms 1 and 2. Popping advances a head index instead of re-slicing,
+// so reset() can reuse the backing array across calls.
 type reqQueue struct {
 	items []*request.Request
+	head  int
 }
 
 func (q *reqQueue) push(r *request.Request) { q.items = append(q.items, r) }
 
 func (q *reqQueue) pop() *request.Request {
-	r := q.items[0]
-	q.items[0] = nil
-	q.items = q.items[1:]
+	r := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
 	return r
 }
 
-func (q *reqQueue) empty() bool { return len(q.items) == 0 }
+func (q *reqQueue) empty() bool { return q.head >= len(q.items) }
+
+func (q *reqQueue) reset() {
+	for i := q.head; i < len(q.items); i++ {
+		q.items[i] = nil
+	}
+	q.items = q.items[:0]
+	q.head = 0
+}
+
+// scratch holds the per-Scheduler buffers reused across scheduling rounds.
+// One Schedule round performs thousands of small CAP operations; hanging
+// their transient storage off the Scheduler keeps the hot path almost
+// allocation-free. A zero scratch is ready to use, so the test-only
+// wrappers of fit/toView/eqSchedule can run with a throwaway one.
+type scratch struct {
+	q reqQueue
+
+	// Schedule round accumulators.
+	startedPAs []view.View
+	startedNPs []view.View
+	inPA       view.View
+
+	// eqSchedule buffers.
+	vocc     []view.View
+	clusters []view.ClusterID
+	cseen    map[view.ClusterID]bool
+	bps      []float64
+	profs    []*stepfunc.StepFunc // per-source profile cursors, [0] = vin
+	cursor   []int
+	val      []int
+	req      []int
+	share    []int
+	need     []int
+	grant    []int
+	builders []stepfunc.Builder
+}
+
+// grown returns s resized to n elements, reusing capacity.
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
 
 // allocEps is the width of the instantaneous window used for preemptible
 // entitlements (see allocWindow).

@@ -3,7 +3,6 @@ package core
 import (
 	"sort"
 
-	"coormv2/internal/stepfunc"
 	"coormv2/internal/view"
 )
 
@@ -37,6 +36,11 @@ func (p PreemptPolicy) String() string {
 // effect the ScheduledAt and NAlloc attributes of the preemptible requests
 // are updated.
 func eqSchedule(apps []*AppState, vin view.View, t0 float64, policy PreemptPolicy) map[int]view.View {
+	return eqScheduleScratch(apps, vin, t0, policy, &scratch{})
+}
+
+// eqScheduleScratch is eqSchedule with caller-provided scratch buffers.
+func eqScheduleScratch(apps []*AppState, vin view.View, t0 float64, policy PreemptPolicy, sc *scratch) map[int]view.View {
 	n := len(apps)
 	out := make(map[int]view.View, n)
 	if n == 0 {
@@ -44,27 +48,42 @@ func eqSchedule(apps []*AppState, vin view.View, t0 float64, policy PreemptPolic
 	}
 
 	// Compute preliminary views of occupied resources (lines 1–3).
-	vocc := make([]view.View, n)
+	sc.vocc = grown(sc.vocc, n)
+	vocc := sc.vocc
 	for i, a := range apps {
-		fixed := toView(a.P, vin, t0)
-		pending := fit(a.P, vin.Sub(fixed).ClampMin(0), t0)
-		vocc[i] = fixed.Add(pending)
+		fixed := toViewScratch(a.P, vin, t0, sc)
+		avail := vin.Sub(fixed)
+		avail.MutClampMin(0)
+		pending := fitScratch(a.P, avail, t0, sc)
+		if fixed == nil {
+			fixed = pending // may still be nil: app occupies nothing
+		} else {
+			fixed.MutAdd(pending)
+		}
+		vocc[i] = fixed
 	}
 
 	// Gather every cluster mentioned by vin or any occupancy view.
-	clusterSet := map[view.ClusterID]bool{}
+	if sc.cseen == nil {
+		sc.cseen = make(map[view.ClusterID]bool)
+	}
+	clear(sc.cseen)
+	sc.clusters = sc.clusters[:0]
+	addCluster := func(cid view.ClusterID) {
+		if !sc.cseen[cid] {
+			sc.cseen[cid] = true
+			sc.clusters = append(sc.clusters, cid)
+		}
+	}
 	for cid := range vin {
-		clusterSet[cid] = true
+		addCluster(cid)
 	}
 	for _, v := range vocc {
 		for cid := range v {
-			clusterSet[cid] = true
+			addCluster(cid)
 		}
 	}
-	clusters := make([]view.ClusterID, 0, len(clusterSet))
-	for cid := range clusterSet {
-		clusters = append(clusters, cid)
-	}
+	clusters := sc.clusters
 	sort.Slice(clusters, func(i, j int) bool { return clusters[i] < clusters[j] })
 
 	// For each cluster, walk the piece-wise constant intervals (lines 4–27).
@@ -72,54 +91,84 @@ func eqSchedule(apps []*AppState, vin view.View, t0 float64, policy PreemptPolic
 	for i := range perApp {
 		perApp[i] = view.New()
 	}
+	// One profile cursor per source: profs[0] tracks vin, profs[1+i]
+	// tracks application i's occupancy.
+	sc.profs = grown(sc.profs, n+1)
+	sc.cursor = grown(sc.cursor, n+1)
+	sc.val = grown(sc.val, n+1)
+	sc.req = grown(sc.req, n)
+	sc.share = grown(sc.share, n)
+	sc.need = grown(sc.need, n)
+	sc.grant = grown(sc.grant, n)
+	sc.builders = grown(sc.builders, n)
 	for _, cid := range clusters {
-		// Collect breakpoints of vin and all occupancy profiles.
-		bpSet := map[float64]bool{0: true}
-		for _, t := range vin.Get(cid).Breakpoints() {
-			bpSet[t] = true
-		}
+		// Merge the breakpoints of vin and all occupancy profiles into one
+		// sorted, deduplicated slice (no per-cluster set allocation).
+		bps := append(sc.bps[:0], 0)
+		bps = vin.Get(cid).AppendBreakpoints(bps)
 		for _, v := range vocc {
-			for _, t := range v.Get(cid).Breakpoints() {
-				bpSet[t] = true
-			}
-		}
-		bps := make([]float64, 0, len(bpSet))
-		for t := range bpSet {
-			bps = append(bps, t)
+			bps = v.Get(cid).AppendBreakpoints(bps)
 		}
 		sort.Float64s(bps)
-
-		steps := make([][]stepfunc.Step, n)
-		for k, t := range bps {
-			dur := stepfunc.Inf
-			if k+1 < len(bps) {
-				dur = bps[k+1] - t
+		dedup := bps[:1]
+		for _, t := range bps[1:] {
+			if t != dedup[len(dedup)-1] {
+				dedup = append(dedup, t)
 			}
-			vinVal := vin.Get(cid).Value(t)
+		}
+		sc.bps = bps
+		bps = dedup
+
+		sc.profs[0] = vin.Get(cid)
+		for i, v := range vocc {
+			sc.profs[1+i] = v.Get(cid)
+		}
+		for i := range sc.cursor {
+			sc.cursor[i] = 0
+			sc.val[i] = 0
+		}
+		for i := range sc.builders {
+			sc.builders[i].Reset()
+		}
+
+		for _, t := range bps {
+			// Advance every profile cursor to its segment covering t. The
+			// breakpoint list is the union of all profiles' breakpoints, so
+			// this walk visits each profile point exactly once per cluster.
+			for s, f := range sc.profs {
+				for sc.cursor[s] < f.Len() {
+					pt, pn := f.At(sc.cursor[s])
+					if pt > t {
+						break
+					}
+					sc.val[s] = pn
+					sc.cursor[s]++
+				}
+			}
+			vinVal := sc.val[0]
 			if vinVal < 0 {
 				vinVal = 0
 			}
-			req := make([]int, n)
 			sum := 0
 			active := 0
-			for i, v := range vocc {
-				r := v.Get(cid).Value(t)
+			for i := 0; i < n; i++ {
+				r := sc.val[1+i]
 				if r < 0 {
 					r = 0
 				}
-				req[i] = r
+				sc.req[i] = r
 				sum += r
 				if r > 0 {
 					active++
 				}
 			}
-			shares := divideInterval(vinVal, req, sum, active, policy)
-			for i := range shares {
-				steps[i] = append(steps[i], stepfunc.Step{Duration: dur, N: shares[i]})
+			divideInterval(vinVal, sc.req, sum, active, policy, sc.share, sc.need, sc.grant)
+			for i := 0; i < n; i++ {
+				sc.builders[i].Append(t, sc.share[i])
 			}
 		}
 		for i := range perApp {
-			f := stepfunc.FromSteps(steps[i]...)
+			f := sc.builders[i].Fn()
 			if !f.IsZero() {
 				perApp[i][cid] = f
 			}
@@ -130,8 +179,10 @@ func eqSchedule(apps []*AppState, vin view.View, t0 float64, policy PreemptPolic
 	// ScheduledAt and NAlloc are set correctly (lines 28–30).
 	for i, a := range apps {
 		v := perApp[i]
-		fixed := toView(a.P, v, t0)
-		fit(a.P, v.Sub(fixed).ClampMin(0), t0)
+		fixed := toViewScratch(a.P, v, t0, sc)
+		avail := v.Sub(fixed)
+		avail.MutClampMin(0)
+		fitScratch(a.P, avail, t0, sc)
 		out[a.ID] = v
 	}
 	return out
@@ -139,10 +190,11 @@ func eqSchedule(apps []*AppState, vin view.View, t0 float64, policy PreemptPolic
 
 // divideInterval computes the per-application view values for one
 // piece-wise constant interval: avail nodes available, req[i] nodes
-// requested by application i (sum, active precomputed).
-func divideInterval(avail int, req []int, sum, active int, policy PreemptPolicy) []int {
+// requested by application i (sum, active precomputed). The result is
+// written into out; need and grant are caller-provided scratch of the same
+// length.
+func divideInterval(avail int, req []int, sum, active int, policy PreemptPolicy, out, need, grant []int) {
 	n := len(req)
-	out := make([]int, n)
 
 	// Fair-share size for an application: its equi-partition. An inactive
 	// application's hypothetical share uses active+1 partitions (Alg. 3
@@ -160,21 +212,23 @@ func divideInterval(avail int, req []int, sum, active int, policy PreemptPolicy)
 	}
 
 	if policy == StrictEquiPartition {
-		for i := range out {
+		for i := 0; i < n; i++ {
 			out[i] = share(i)
 		}
-		return out
+		return
 	}
 
 	if sum > avail {
 		// Congested: distribute resources equally until none are left free
 		// (lines 8–18), using iterative water-filling.
-		need := append([]int(nil), req...)
-		grant := make([]int, n)
+		copy(need, req)
+		for i := 0; i < n; i++ {
+			grant[i] = 0
+		}
 		left := avail
 		for left > 0 {
 			unsat := 0
-			for i := range need {
+			for i := 0; i < n; i++ {
 				if need[i] > 0 {
 					unsat++
 				}
@@ -187,7 +241,7 @@ func divideInterval(avail int, req []int, sum, active int, policy PreemptPolicy)
 				veq = 1
 			}
 			progressed := false
-			for i := range need {
+			for i := 0; i < n; i++ {
 				if need[i] == 0 || left == 0 {
 					continue
 				}
@@ -209,7 +263,7 @@ func divideInterval(avail int, req []int, sum, active int, policy PreemptPolicy)
 				break
 			}
 		}
-		for i := range out {
+		for i := 0; i < n; i++ {
 			if req[i] > 0 {
 				out[i] = grant[i]
 			} else {
@@ -218,12 +272,12 @@ func divideInterval(avail int, req []int, sum, active int, policy PreemptPolicy)
 				out[i] = share(i)
 			}
 		}
-		return out
+		return
 	}
 
 	// Uncongested: give each application the resources left free by the
 	// others, but not less than its equi-partition (lines 19–25).
-	for i := range out {
+	for i := 0; i < n; i++ {
 		leftover := avail - (sum - req[i])
 		if s := share(i); leftover < s {
 			leftover = s
@@ -233,5 +287,4 @@ func divideInterval(avail int, req []int, sum, active int, policy PreemptPolicy)
 		}
 		out[i] = leftover
 	}
-	return out
 }

@@ -26,8 +26,14 @@ const maxFitIterations = 100000
 // start time instead, which matches the protocol's behaviour (the RMS
 // simply notifies the start later).
 func fit(rs *request.Set, vi view.View, t0 float64) view.View {
+	return fitScratch(rs, vi, t0, &scratch{})
+}
+
+// fitScratch is fit with caller-provided scratch buffers.
+func fitScratch(rs *request.Set, vi view.View, t0 float64, sc *scratch) view.View {
 	// Initialization (lines 1–4).
-	var q reqQueue
+	q := &sc.q
+	q.reset()
 	for _, r := range rs.All() {
 		if !r.Fixed {
 			r.EarliestScheduleAt = t0
@@ -35,8 +41,10 @@ func fit(rs *request.Set, vi view.View, t0 float64) view.View {
 		}
 	}
 	// First, add root requests to the queue (line 5).
-	for _, r := range rs.Roots() {
-		q.push(r)
+	for _, r := range rs.All() {
+		if rs.IsRoot(r) {
+			q.push(r)
+		}
 	}
 
 	findHole := func(r *request.Request, lower float64) float64 {
@@ -47,15 +55,18 @@ func fit(rs *request.Set, vi view.View, t0 float64) view.View {
 		return vi.FindHole(r.Cluster, r.N, r.Duration, after)
 	}
 
+	// pushChildren enqueues the requests of the set constrained to r.
+	pushChildren := func(r *request.Request) {
+		rs.EachChild(r, func(rc *request.Request) { q.push(rc) })
+	}
+
 	for iter := 0; !q.empty() && iter < maxFitIterations; iter++ {
 		r := q.pop()
 
 		// If this is a fixed request, just add children to the queue
 		// (lines 8–10).
 		if r.Fixed {
-			for _, rc := range rs.Children(r) {
-				q.push(rc)
-			}
+			pushChildren(r)
 			continue
 		}
 
@@ -120,14 +131,14 @@ func fit(rs *request.Set, vi view.View, t0 float64) view.View {
 
 		// If scheduledAt has changed, reschedule children (lines 34–35).
 		if tBefore != r.ScheduledAt {
-			for _, rc := range rs.Children(r) {
-				q.push(rc)
-			}
+			pushChildren(r)
 		}
 	}
 
 	// Schedule converged; compute the generated view (lines 36–38).
-	vo := view.New()
+	// The returned view may be nil when nothing was scheduled; a nil View
+	// is valid for every read operation.
+	var vo view.View
 	for _, r := range rs.All() {
 		if r.Fixed {
 			continue
@@ -135,7 +146,10 @@ func fit(rs *request.Set, vi view.View, t0 float64) view.View {
 		if math.IsInf(r.ScheduledAt, 1) {
 			continue // unschedulable; occupies nothing
 		}
-		vo = vo.AddRect(r.Cluster, r.ScheduledAt, r.Duration, r.NAlloc)
+		if vo == nil {
+			vo = view.New()
+		}
+		vo.MutAddRect(r.Cluster, r.ScheduledAt, r.Duration, r.NAlloc)
 	}
 	return vo
 }

@@ -62,12 +62,16 @@ func (a *AppState) Requests() []*request.Request {
 // per-application request sets. It implements Algorithm 4 (§A.5).
 type Scheduler struct {
 	clusters map[view.ClusterID]int
-	apps     []*AppState
+	apps     []*AppState       // CBF (connection) order
+	byID     map[int]*AppState // ID → state index for O(1) lookups
 	policy   PreemptPolicy
 
 	// clip, when non-nil, limits the non-preemptive view presented to every
 	// application (§3.2's suggested pre-allocation limit).
 	clip view.View
+
+	// sc holds the buffers reused across Schedule rounds.
+	sc scratch
 }
 
 // NewScheduler creates a scheduler managing the given clusters
@@ -80,7 +84,7 @@ func NewScheduler(clusters map[view.ClusterID]int) *Scheduler {
 		}
 		cp[cid] = n
 	}
-	return &Scheduler{clusters: cp}
+	return &Scheduler{clusters: cp, byID: make(map[int]*AppState)}
 }
 
 // SetPolicy selects the preemptible-resource division policy.
@@ -108,13 +112,12 @@ func (s *Scheduler) Capacity(cid view.ClusterID) int { return s.clusters[cid] }
 // AddApp registers an application at the given connection time and returns
 // its state.
 func (s *Scheduler) AddApp(id int, connectedAt float64) *AppState {
-	for _, a := range s.apps {
-		if a.ID == id {
-			panic(fmt.Sprintf("core: duplicate application ID %d", id))
-		}
+	if _, dup := s.byID[id]; dup {
+		panic(fmt.Sprintf("core: duplicate application ID %d", id))
 	}
 	a := NewAppState(id, connectedAt)
 	s.apps = append(s.apps, a)
+	s.byID[id] = a
 	s.sortApps()
 	return a
 }
@@ -122,24 +125,22 @@ func (s *Scheduler) AddApp(id int, connectedAt float64) *AppState {
 // RemoveApp unregisters an application (session ended or killed).
 // It returns the removed state, or nil if the ID is unknown.
 func (s *Scheduler) RemoveApp(id int) *AppState {
-	for i, a := range s.apps {
-		if a.ID == id {
+	a, ok := s.byID[id]
+	if !ok {
+		return nil
+	}
+	delete(s.byID, id)
+	for i, b := range s.apps {
+		if b == a {
 			s.apps = append(s.apps[:i], s.apps[i+1:]...)
-			return a
+			break
 		}
 	}
-	return nil
+	return a
 }
 
 // App returns the state of the application with the given ID, or nil.
-func (s *Scheduler) App(id int) *AppState {
-	for _, a := range s.apps {
-		if a.ID == id {
-			return a
-		}
-	}
-	return nil
-}
+func (s *Scheduler) App(id int) *AppState { return s.byID[id] }
 
 // Apps returns the applications in scheduling (connection) order.
 func (s *Scheduler) Apps() []*AppState { return s.apps }
@@ -158,7 +159,7 @@ func (s *Scheduler) fullView() view.View {
 	v := view.New()
 	for cid, n := range s.clusters {
 		if n > 0 {
-			v = v.AddRect(cid, 0, math.Inf(1), n)
+			v.MutAddRect(cid, 0, math.Inf(1), n)
 		}
 	}
 	return v
@@ -186,9 +187,10 @@ type Outcome struct {
 // job: the RMS may have to defer a start until preempted resources are
 // actually released (§A.5).
 func (s *Scheduler) Schedule(now float64) *Outcome {
+	sc := &s.sc
 	out := &Outcome{
 		NonPreemptViews: make(map[int]view.View, len(s.apps)),
-		PreemptViews:    make(map[int]view.View, len(s.apps)),
+		// PreemptViews is filled in by eqSchedule below.
 	}
 
 	// Initialize temporary views with all resources (lines 1–2).
@@ -199,27 +201,37 @@ func (s *Scheduler) Schedule(now float64) *Outcome {
 	// Started pre-allocations consume non-preemptible space; started
 	// non-preemptible allocations consume preemptible space. A started
 	// non-preemptible request that was implicitly wrapped (no covering
-	// pre-allocation) consumes non-preemptible space as well.
+	// pre-allocation) consumes non-preemptible space as well. The
+	// per-application profiles are folded with one k-way sum per cluster
+	// instead of one view subtraction per application.
+	sc.startedPAs = sc.startedPAs[:0]
+	sc.startedNPs = sc.startedNPs[:0]
 	for _, a := range s.apps {
-		a.startedPA = toView(a.PA, nil, now)
-		a.startedNP = toView(a.NP, nil, now)
-		vNP = vNP.Sub(a.startedPA)
-		wrapped := view.New()
+		a.startedPA = toViewScratch(a.PA, nil, now, sc)
+		a.startedNP = toViewScratch(a.NP, nil, now, sc)
+		sc.startedPAs = append(sc.startedPAs, a.startedPA)
+		sc.startedNPs = append(sc.startedNPs, a.startedNP)
+	}
+	vNP.MutSub(view.Sum(sc.startedPAs...))
+	vP.MutSub(view.Sum(sc.startedNPs...))
+	for _, a := range s.apps {
 		for _, r := range a.NP.All() {
 			if r.Fixed && r.Wrapped {
-				wrapped = wrapped.AddRect(r.Cluster, r.ScheduledAt, r.Duration, r.NAlloc)
+				vNP.MutAddRect(r.Cluster, r.ScheduledAt, r.Duration, -r.NAlloc)
 			}
 		}
-		vNP = vNP.Sub(wrapped)
-		vP = vP.Sub(a.startedNP)
 	}
 
 	// Compute non-preemptive views and start times of pre-allocations and
 	// non-preemptible requests (lines 6–11), applications in CBF order.
+	if sc.inPA == nil {
+		sc.inPA = view.New()
+	}
 	for _, a := range s.apps {
 		// V_¬P^(i) = toView(R_PA) + V_¬P (line 7): the application sees its
 		// own pre-allocated space plus the globally free space.
-		viewNP := a.startedPA.Add(vNP.ClampMin(0))
+		vNPFree := vNP.ClampMin(0)
+		viewNP := a.startedPA.Add(vNPFree)
 		if s.clip != nil {
 			viewNP = viewNP.Clip(s.clip)
 		}
@@ -227,21 +239,22 @@ func (s *Scheduler) Schedule(now float64) *Outcome {
 		// Schedule pending pre-allocations into the non-preemptive view
 		// (line 8). This is Conservative Back-Filling: applications are
 		// processed in connection order and each takes the first hole.
-		voccPA := fit(a.PA, viewNP, now)
+		voccPA := fitScratch(a.PA, viewNP, now, sc)
 
 		// Space available for the application's non-preemptible requests:
 		// all of its pre-allocations (started + newly scheduled) minus its
 		// own started in-pre-allocation requests (line 9), plus the global
 		// free space for requests that need implicit wrapping (§3.2).
-		inPA := view.New()
+		clear(sc.inPA)
 		for _, r := range a.NP.All() {
 			if r.Fixed && !r.Wrapped {
-				inPA = inPA.AddRect(r.Cluster, r.ScheduledAt, r.Duration, r.NAlloc)
+				sc.inPA.MutAddRect(r.Cluster, r.ScheduledAt, r.Duration, r.NAlloc)
 			}
 		}
-		paFree := a.startedPA.Add(voccPA).Sub(inPA)
-		availNP := paFree.Add(vNP.ClampMin(0))
-		voccNP := fit(a.NP, availNP, now)
+		paFree := a.startedPA.Add(voccPA)
+		paFree.MutSub(sc.inPA)
+		availNP := paFree.Add(vNPFree)
+		voccNP := fitScratch(a.NP, availNP, now, sc)
 
 		// Classify each pending request: wrapped if its allocation is not
 		// fully covered by the application's pre-allocation space.
@@ -257,30 +270,25 @@ func (s *Scheduler) Schedule(now float64) *Outcome {
 		// pre-allocations and the wrapped excess of non-preemptible
 		// requests consume non-preemptible space; all scheduled
 		// non-preemptible requests consume preemptible space.
-		excess := voccNP.Sub(paFree).ClampMin(0)
-		vNP = vNP.Sub(voccPA).Sub(excess)
-		vP = vP.Sub(voccNP)
+		excess := voccNP.Sub(paFree)
+		excess.MutClampMin(0)
+		vNP.MutSub(voccPA)
+		vNP.MutSub(excess)
+		vP.MutSub(voccNP)
 
 		out.NonPreemptViews[a.ID] = viewNP.ClampMin(0)
 	}
 
 	// Compute preemptive views and start times of preemptible requests
 	// (line 12).
-	out.PreemptViews = eqSchedule(s.apps, vP.ClampMin(0), now, s.policy)
+	vP.MutClampMin(0)
+	out.PreemptViews = eqScheduleScratch(s.apps, vP, now, s.policy, sc)
 
 	// Collect requests whose start time has arrived (lines 13–14).
 	for _, a := range s.apps {
-		for _, r := range a.Requests() {
-			if r.Started() || r.Finished {
-				continue
-			}
-			if math.IsInf(r.ScheduledAt, 1) {
-				continue
-			}
-			if r.ScheduledAt <= now+timeEps {
-				out.ToStart = append(out.ToStart, r)
-			}
-		}
+		appendToStart(&out.ToStart, a.PA.All(), now)
+		appendToStart(&out.ToStart, a.NP.All(), now)
+		appendToStart(&out.ToStart, a.P.All(), now)
 	}
 	sort.SliceStable(out.ToStart, func(i, j int) bool {
 		a, b := out.ToStart[i], out.ToStart[j]
@@ -294,6 +302,22 @@ func (s *Scheduler) Schedule(now float64) *Outcome {
 		return a.ID < b.ID
 	})
 	return out
+}
+
+// appendToStart collects the requests of rs whose computed start time has
+// arrived at time now.
+func appendToStart(dst *[]*request.Request, rs []*request.Request, now float64) {
+	for _, r := range rs {
+		if r.Started() || r.Finished {
+			continue
+		}
+		if math.IsInf(r.ScheduledAt, 1) {
+			continue
+		}
+		if r.ScheduledAt <= now+timeEps {
+			*dst = append(*dst, r)
+		}
+	}
 }
 
 // depth returns the constraint-chain depth of a request (0 for roots),

@@ -16,26 +16,36 @@ import (
 // If vi is non-nil the generated allocations are limited by the resources
 // available in vi (used for preemptible requests, whose NAlloc may be
 // smaller than N); otherwise NAlloc = N.
+//
+// The returned view may be nil when no request is fixed; a nil View is
+// valid for every read operation.
 func toView(rs *request.Set, vi view.View, now float64) view.View {
-	vo := view.New()
+	return toViewScratch(rs, vi, now, &scratch{})
+}
+
+// toViewScratch is toView with caller-provided scratch buffers; the
+// scheduler threads one scratch through all the rounds it runs.
+func toViewScratch(rs *request.Set, vi view.View, now float64, sc *scratch) view.View {
+	var vo view.View
 
 	// Initialization: clear the fixed flag of every request (Alg. 1 line 2).
 	for _, r := range rs.All() {
 		r.Fixed = false
 	}
 
-	var q reqQueue
-	visited := make(map[*request.Request]bool)
+	q := &sc.q
+	q.reset()
 
 	// First, add started requests to the queue (lines 4–5).
 	for _, r := range rs.All() {
 		if r.Started() {
 			q.push(r)
-			visited[r] = true
 		}
 	}
 
-	// Next, process requests in the queue (lines 6–24).
+	// Next, process requests in the queue (lines 6–24). Each request is
+	// enqueued at most once: started requests are enqueued above, and a
+	// pending request is enqueued only by its single parent.
 	for !q.empty() {
 		r := q.pop()
 
@@ -63,15 +73,18 @@ func toView(rs *request.Set, vi view.View, now float64) view.View {
 			r.NAlloc = vi.Alloc(r.Cluster, r.N, t0, t1-t0)
 		}
 		r.Fixed = true
-		vo = vo.AddRect(r.Cluster, r.ScheduledAt, r.Duration, r.NAlloc)
+		if vo == nil {
+			vo = view.New()
+		}
+		vo.MutAddRect(r.Cluster, r.ScheduledAt, r.Duration, r.NAlloc)
 
-		// Enqueue children of this request (lines 23–24).
-		for _, rc := range rs.Children(r) {
-			if !visited[rc] {
-				visited[rc] = true
+		// Enqueue pending children of this request (lines 23–24); started
+		// children are already in the queue from the initialization pass.
+		rs.EachChild(r, func(rc *request.Request) {
+			if !rc.Started() {
 				q.push(rc)
 			}
-		}
+		})
 	}
 	return vo
 }

@@ -235,27 +235,39 @@ func (s *Set) ByID(id ID) *Request {
 	return nil
 }
 
+// IsRoot reports whether r is the root of a constraint tree within the set
+// (§A.2): unconstrained, or related to a request outside the set.
+func (s *Set) IsRoot(r *Request) bool {
+	return r.RelatedHow == Free || r.RelatedTo == nil || !s.Contains(r.RelatedTo)
+}
+
 // Roots returns the requests that are roots of constraint trees within the
 // set (§A.2): requests that are unconstrained, or whose related request is
 // outside the set.
 func (s *Set) Roots() []*Request {
 	var out []*Request
 	for _, r := range s.reqs {
-		if r.RelatedHow == Free || r.RelatedTo == nil || !s.Contains(r.RelatedTo) {
+		if s.IsRoot(r) {
 			out = append(out, r)
 		}
 	}
 	return out
 }
 
+// EachChild calls fn for every request in the set that is constrained to r
+// (§A.2), in insertion order, without allocating.
+func (s *Set) EachChild(r *Request, fn func(*Request)) {
+	for _, q := range s.reqs {
+		if q.RelatedTo == r && q.RelatedHow != Free {
+			fn(q)
+		}
+	}
+}
+
 // Children returns the requests in the set that are constrained to r (§A.2).
 func (s *Set) Children(r *Request) []*Request {
 	var out []*Request
-	for _, q := range s.reqs {
-		if q.RelatedTo == r && q.RelatedHow != Free {
-			out = append(out, q)
-		}
-	}
+	s.EachChild(r, func(q *Request) { out = append(out, q) })
 	return out
 }
 

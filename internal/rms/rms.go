@@ -94,6 +94,9 @@ type Server struct {
 
 	// notifications queued during a locked section, delivered unlocked.
 	pending []func()
+
+	// idScratch is the session-ID buffer reused by pushViewsLocked.
+	idScratch []int
 }
 
 // NewServer creates an RMS server. It panics on an invalid configuration.
@@ -522,11 +525,12 @@ func (s *Server) startRequestsLocked(outcome *core.Outcome, now float64) {
 // in the past are reconstruction artifacts.
 func (s *Server) pushViewsLocked(outcome *core.Outcome) {
 	now := s.clk.Now()
-	ids := make([]int, 0, len(s.sessions))
+	ids := s.idScratch[:0]
 	for id := range s.sessions {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	s.idScratch = ids
 	for _, id := range ids {
 		sess := s.sessions[id]
 		np := outcome.NonPreemptViews[id]

@@ -3,10 +3,19 @@
 // (§3.1.4 and §A.3): the x-axis is absolute time in seconds, the y-axis is
 // a node count.
 //
-// A StepFunc is immutable: every operation returns a new value. Functions
-// are defined on [0, +Inf); the last segment extends to infinity. Values
-// may be negative (differences of profiles are used as scratch values by
-// the scheduler), and callers clamp where the domain requires it.
+// A StepFunc is immutable: every operation returns a new value, and
+// operations are free to return one of their operands when the result is
+// identical (e.g. Add with a zero operand). Functions are defined on
+// [0, +Inf); the last segment extends to infinity. Values may be negative
+// (differences of profiles are used as scratch values by the scheduler),
+// and callers clamp where the domain requires it.
+//
+// The arithmetic core is a single-pass sorted merge: operands are stored
+// normalized (strictly increasing times, no repeated values), so every
+// binary operation emits its result already normalized, with exactly one
+// slice allocation of exact capacity. Hot callers can go further with the
+// *Into variants and the Builder, which reuse caller-owned storage, and
+// with SumAll, which folds any number of operands in one k-way pass.
 package stepfunc
 
 import (
@@ -29,16 +38,22 @@ type point struct {
 type StepFunc struct {
 	// pts is sorted by strictly increasing t, with pts[0].t == 0 and no
 	// two consecutive equal values. An empty slice means constant zero.
+	// A one-point slice {0, 0} is forbidden (it must be the empty slice).
 	pts []point
 }
 
+// zeroFunc is the shared constant-zero function. Sharing is safe because
+// StepFunc values are immutable; the *Into variants explicitly refuse to
+// write into it.
+var zeroFunc = &StepFunc{}
+
 // Zero returns the constant-zero step function.
-func Zero() *StepFunc { return &StepFunc{} }
+func Zero() *StepFunc { return zeroFunc }
 
 // Constant returns the step function that is n everywhere.
 func Constant(n int) *StepFunc {
 	if n == 0 {
-		return Zero()
+		return zeroFunc
 	}
 	return &StepFunc{pts: []point{{0, n}}}
 }
@@ -55,7 +70,7 @@ type Step struct {
 // is 0, matching §A.3 ("0 nodes are available for t ∈ [7200, ∞)"). A final
 // segment with Duration == Inf extends its value forever.
 func FromSteps(steps ...Step) *StepFunc {
-	var pts []point
+	pts := make([]point, 0, len(steps)+1)
 	t := 0.0
 	for _, s := range steps {
 		if s.Duration < 0 {
@@ -64,14 +79,27 @@ func FromSteps(steps ...Step) *StepFunc {
 		if s.Duration == 0 {
 			continue
 		}
-		pts = append(pts, point{t, s.N})
+		if n := len(pts); n == 0 || pts[n-1].n != s.N {
+			pts = append(pts, point{t, s.N})
+		}
 		if math.IsInf(s.Duration, 1) {
-			return normalize(pts)
+			return ownPts(pts)
 		}
 		t += s.Duration
 	}
-	pts = append(pts, point{t, 0})
-	return normalize(pts)
+	if n := len(pts); n == 0 || pts[n-1].n != 0 {
+		pts = append(pts, point{t, 0})
+	}
+	return ownPts(pts)
+}
+
+// ownPts wraps an already-normalized point sequence, taking ownership of
+// the slice. It collapses the forbidden {0, 0} singleton to the shared zero.
+func ownPts(pts []point) *StepFunc {
+	if len(pts) == 0 || (len(pts) == 1 && pts[0].n == 0) {
+		return zeroFunc
+	}
+	return &StepFunc{pts: pts}
 }
 
 // Rect returns a step function that is n on [t0, t0+dur) and 0 elsewhere.
@@ -84,49 +112,17 @@ func Rect(t0, dur float64, n int) *StepFunc {
 		panic("stepfunc: negative rect duration")
 	}
 	if dur == 0 || n == 0 {
-		return Zero()
+		return zeroFunc
 	}
-	pts := []point{{0, 0}}
-	if t0 == 0 {
-		pts = pts[:0]
+	pts := make([]point, 0, 3)
+	if t0 > 0 {
+		pts = append(pts, point{0, 0})
 	}
 	pts = append(pts, point{t0, n})
 	if !math.IsInf(dur, 1) {
 		pts = append(pts, point{t0 + dur, 0})
 	}
-	return normalize(pts)
-}
-
-// normalize sorts (stably, input is expected sorted), anchors the function at
-// t=0 and merges consecutive equal values.
-func normalize(pts []point) *StepFunc {
-	if len(pts) == 0 {
-		return Zero()
-	}
-	sort.SliceStable(pts, func(i, j int) bool { return pts[i].t < pts[j].t })
-	out := make([]point, 0, len(pts)+1)
-	if pts[0].t > 0 {
-		out = append(out, point{0, 0})
-	}
-	for _, p := range pts {
-		if len(out) > 0 && out[len(out)-1].t == p.t {
-			out[len(out)-1].n = p.n // later point at same t wins
-			continue
-		}
-		out = append(out, p)
-	}
-	// Merge consecutive equal values.
-	merged := out[:0]
-	for _, p := range out {
-		if len(merged) > 0 && merged[len(merged)-1].n == p.n {
-			continue
-		}
-		merged = append(merged, p)
-	}
-	if len(merged) == 1 && merged[0].n == 0 {
-		return Zero()
-	}
-	return &StepFunc{pts: merged}
+	return &StepFunc{pts: pts}
 }
 
 // Value returns the function value at time t. Values for t < 0 are reported
@@ -146,9 +142,24 @@ func (f *StepFunc) Value(t float64) int {
 // IsZero reports whether the function is identically zero.
 func (f *StepFunc) IsZero() bool { return len(f.pts) == 0 }
 
+// Len returns the number of stored breakpoints (0 for the zero function).
+func (f *StepFunc) Len() int { return len(f.pts) }
+
+// At returns the i-th breakpoint: the segment start time and the value held
+// on [t, next t). Segments are indexed in increasing time order; callers use
+// Len/At to walk a profile with a cursor instead of binary-searching Value
+// at every probe.
+func (f *StepFunc) At(i int) (t float64, n int) {
+	p := f.pts[i]
+	return p.t, p.n
+}
+
 // Clone returns a deep copy. Because StepFunc is treated as immutable this
 // is rarely needed, but it keeps ownership obvious at package boundaries.
 func (f *StepFunc) Clone() *StepFunc {
+	if len(f.pts) == 0 {
+		return zeroFunc
+	}
 	return &StepFunc{pts: append([]point(nil), f.pts...)}
 }
 
@@ -171,86 +182,373 @@ func (f *StepFunc) Breakpoints() []float64 {
 	if len(f.pts) == 0 {
 		return []float64{0}
 	}
-	out := make([]float64, len(f.pts))
-	for i, p := range f.pts {
-		out[i] = p.t
+	return f.AppendBreakpoints(make([]float64, 0, len(f.pts)))
+}
+
+// AppendBreakpoints appends the function's breakpoints (including 0) to dst
+// and returns the extended slice. It allocates only when dst lacks capacity.
+func (f *StepFunc) AppendBreakpoints(dst []float64) []float64 {
+	if len(f.pts) == 0 {
+		return append(dst, 0)
 	}
-	if out[0] != 0 {
-		out = append([]float64{0}, out...)
+	if f.pts[0].t != 0 {
+		dst = append(dst, 0)
 	}
-	return out
-}
-
-// combine merges f and g pointwise with op.
-func combine(f, g *StepFunc, op func(a, b int) int) *StepFunc {
-	i, j := 0, 0
-	var pts []point
-	va, vb := 0, 0
-	for i < len(f.pts) || j < len(g.pts) {
-		var t float64
-		switch {
-		case i < len(f.pts) && j < len(g.pts):
-			t = math.Min(f.pts[i].t, g.pts[j].t)
-		case i < len(f.pts):
-			t = f.pts[i].t
-		default:
-			t = g.pts[j].t
-		}
-		if i < len(f.pts) && f.pts[i].t == t {
-			va = f.pts[i].n
-			i++
-		}
-		if j < len(g.pts) && g.pts[j].t == t {
-			vb = g.pts[j].n
-			j++
-		}
-		pts = append(pts, point{t, op(va, vb)})
+	for _, p := range f.pts {
+		dst = append(dst, p.t)
 	}
-	return normalize(pts)
+	return dst
 }
 
-// Add returns f + g (the paper's view sum).
-func (f *StepFunc) Add(g *StepFunc) *StepFunc {
-	return combine(f, g, func(a, b int) int { return a + b })
-}
+// opCode selects the pointwise operation of a merge. Using a code instead
+// of a func value keeps the merge loop free of indirect calls.
+type opCode uint8
 
-// Sub returns f − g (the paper's view difference).
-func (f *StepFunc) Sub(g *StepFunc) *StepFunc {
-	return combine(f, g, func(a, b int) int { return a - b })
-}
+const (
+	opAdd opCode = iota
+	opSub
+	opMin
+	opMax
+)
 
-// Max returns the pointwise maximum of f and g (the paper's view union).
-func (f *StepFunc) Max(g *StepFunc) *StepFunc {
-	return combine(f, g, func(a, b int) int {
-		if a > b {
-			return a
-		}
-		return b
-	})
-}
-
-// Min returns the pointwise minimum of f and g. It implements view clipping
-// (§3.2: "the amount of resources that an application can pre-allocate can
-// be limited, by clipping its non-preemptible view").
-func (f *StepFunc) Min(g *StepFunc) *StepFunc {
-	return combine(f, g, func(a, b int) int {
+func applyOp(op opCode, a, b int) int {
+	switch op {
+	case opAdd:
+		return a + b
+	case opSub:
+		return a - b
+	case opMin:
 		if a < b {
 			return a
 		}
 		return b
-	})
+	default: // opMax
+		if a > b {
+			return a
+		}
+		return b
+	}
+}
+
+// appendCombined merges f and g pointwise with op, appending the normalized
+// result onto dst (which must be empty, i.e. buf[:0], and must not alias f
+// or g). Both inputs are normalized, so the merged stream is emitted in
+// increasing time order with equal-value runs collapsed on the fly — no
+// sort, no post-pass.
+func appendCombined(dst []point, f, g []point, op opCode) []point {
+	i, j := 0, 0
+	va, vb := 0, 0
+	for i < len(f) || j < len(g) {
+		var t float64
+		switch {
+		case i < len(f) && j < len(g):
+			if f[i].t <= g[j].t {
+				t = f[i].t
+			} else {
+				t = g[j].t
+			}
+		case i < len(f):
+			t = f[i].t
+		default:
+			t = g[j].t
+		}
+		if i < len(f) && f[i].t == t {
+			va = f[i].n
+			i++
+		}
+		if j < len(g) && g[j].t == t {
+			vb = g[j].n
+			j++
+		}
+		v := applyOp(op, va, vb)
+		if n := len(dst); n == 0 || dst[n-1].n != v {
+			dst = append(dst, point{t, v})
+		}
+	}
+	return dst
+}
+
+// newCombined materializes op(f, g) with a single exact-capacity allocation.
+func newCombined(f, g *StepFunc, op opCode) *StepFunc {
+	// Identity fast paths: sharing the operand is safe (immutability).
+	if len(g.pts) == 0 && (op == opAdd || op == opSub) {
+		return f
+	}
+	if len(f.pts) == 0 && op == opAdd {
+		return g
+	}
+	pts := appendCombined(make([]point, 0, len(f.pts)+len(g.pts)), f.pts, g.pts, op)
+	return ownPts(pts)
+}
+
+// combineInto stores op(f, g) into dst, reusing dst's storage, and returns
+// dst. When dst aliases an operand (or is the shared zero) a fresh function
+// is returned instead; callers must therefore always use the return value.
+func combineInto(f, g, dst *StepFunc, op opCode) *StepFunc {
+	if dst == nil || dst == zeroFunc || dst == f || dst == g {
+		return newCombined(f, g, op)
+	}
+	pts := appendCombined(dst.pts[:0], f.pts, g.pts, op)
+	if len(pts) == 0 || (len(pts) == 1 && pts[0].n == 0) {
+		pts = pts[:0]
+	}
+	dst.pts = pts
+	return dst
+}
+
+// Add returns f + g (the paper's view sum).
+func (f *StepFunc) Add(g *StepFunc) *StepFunc { return newCombined(f, g, opAdd) }
+
+// Sub returns f − g (the paper's view difference).
+func (f *StepFunc) Sub(g *StepFunc) *StepFunc { return newCombined(f, g, opSub) }
+
+// Max returns the pointwise maximum of f and g (the paper's view union).
+func (f *StepFunc) Max(g *StepFunc) *StepFunc { return newCombined(f, g, opMax) }
+
+// Min returns the pointwise minimum of f and g. It implements view clipping
+// (§3.2: "the amount of resources that an application can pre-allocate can
+// be limited, by clipping its non-preemptible view").
+func (f *StepFunc) Min(g *StepFunc) *StepFunc { return newCombined(f, g, opMin) }
+
+// AddInto stores f + g into dst (see combineInto for the reuse contract).
+func (f *StepFunc) AddInto(g, dst *StepFunc) *StepFunc { return combineInto(f, g, dst, opAdd) }
+
+// SubInto stores f − g into dst (see combineInto for the reuse contract).
+func (f *StepFunc) SubInto(g, dst *StepFunc) *StepFunc { return combineInto(f, g, dst, opSub) }
+
+// MaxInto stores max(f, g) into dst (see combineInto for the reuse contract).
+func (f *StepFunc) MaxInto(g, dst *StepFunc) *StepFunc { return combineInto(f, g, dst, opMax) }
+
+// MinInto stores min(f, g) into dst (see combineInto for the reuse contract).
+func (f *StepFunc) MinInto(g, dst *StepFunc) *StepFunc { return combineInto(f, g, dst, opMin) }
+
+// SumAll returns the pointwise sum of all the functions in one k-way merge
+// pass, instead of the N-1 intermediate functions a fold over Add would
+// build. Nil entries count as zero.
+func SumAll(fs []*StepFunc) *StepFunc {
+	// Count the non-zero operands; 0 or 1 of them need no merge at all.
+	nz := 0
+	total := 0
+	var last *StepFunc
+	for _, f := range fs {
+		if f != nil && len(f.pts) > 0 {
+			nz++
+			total += len(f.pts)
+			last = f
+		}
+	}
+	switch nz {
+	case 0:
+		return zeroFunc
+	case 1:
+		return last
+	case 2:
+		var a, b *StepFunc
+		for _, f := range fs {
+			if f != nil && len(f.pts) > 0 {
+				if a == nil {
+					a = f
+				} else {
+					b = f
+				}
+			}
+		}
+		return a.Add(b)
+	}
+
+	active := make([][]point, 0, nz)
+	for _, f := range fs {
+		if f != nil && len(f.pts) > 0 {
+			active = append(active, f.pts)
+		}
+	}
+	cur := make([]int, len(active)) // cursor per operand
+	dst := make([]point, 0, total)
+	sum := 0
+	for {
+		// Find the earliest unconsumed breakpoint across all operands.
+		next := Inf
+		for k, pts := range active {
+			if cur[k] < len(pts) && pts[cur[k]].t < next {
+				next = pts[cur[k]].t
+			}
+		}
+		if math.IsInf(next, 1) {
+			break
+		}
+		// Advance every operand sitting at that breakpoint, updating the
+		// running sum incrementally.
+		for k, pts := range active {
+			if c := cur[k]; c < len(pts) && pts[c].t == next {
+				prev := 0
+				if c > 0 {
+					prev = pts[c-1].n
+				}
+				sum += pts[c].n - prev
+				cur[k]++
+			}
+		}
+		if n := len(dst); n == 0 || dst[n-1].n != sum {
+			dst = append(dst, point{next, sum})
+		}
+	}
+	return ownPts(dst)
 }
 
 // ClampMin returns the function max(f, lo) pointwise with a scalar.
+// If the function is already everywhere >= lo, f itself is returned.
 func (f *StepFunc) ClampMin(lo int) *StepFunc {
-	return f.Max(Constant(lo))
+	if len(f.pts) == 0 {
+		if lo <= 0 {
+			return f
+		}
+		return Constant(lo)
+	}
+	clamped := false
+	for _, p := range f.pts {
+		if p.n < lo {
+			clamped = true
+			break
+		}
+	}
+	if !clamped {
+		return f
+	}
+	// Clamping only merges segments, never splits them, so the result has
+	// at most len(f.pts) points.
+	dst := make([]point, 0, len(f.pts))
+	for _, p := range f.pts {
+		v := p.n
+		if v < lo {
+			v = lo
+		}
+		if n := len(dst); n == 0 || dst[n-1].n != v {
+			dst = append(dst, point{p.t, v})
+		}
+	}
+	return ownPts(dst)
 }
 
 // AddRect returns f plus a rectangle of height n on [t0, t0+dur).
 // It is the building block for the paper's "generated views" (Algorithm 1,
-// line 22). dur may be Inf.
+// line 22). dur may be Inf. If the rectangle is empty, f itself is returned.
 func (f *StepFunc) AddRect(t0, dur float64, n int) *StepFunc {
-	return f.Add(Rect(t0, dur, n))
+	if t0 < 0 {
+		panic("stepfunc: negative rect start")
+	}
+	if dur < 0 {
+		panic("stepfunc: negative rect duration")
+	}
+	if dur == 0 || n == 0 {
+		return f
+	}
+	var buf [3]point
+	rect := appendRectPts(buf[:0], t0, dur, n)
+	pts := appendCombined(make([]point, 0, len(f.pts)+len(rect)), f.pts, rect, opAdd)
+	return ownPts(pts)
+}
+
+// AddRectInto stores f plus the rectangle into dst (see combineInto for the
+// reuse contract).
+func (f *StepFunc) AddRectInto(t0, dur float64, n int, dst *StepFunc) *StepFunc {
+	if t0 < 0 {
+		panic("stepfunc: negative rect start")
+	}
+	if dur < 0 {
+		panic("stepfunc: negative rect duration")
+	}
+	if dur == 0 || n == 0 {
+		if dst == nil || dst == zeroFunc || dst == f {
+			return f
+		}
+		dst.pts = append(dst.pts[:0], f.pts...)
+		return dst
+	}
+	var buf [3]point
+	rect := appendRectPts(buf[:0], t0, dur, n)
+	if dst == nil || dst == zeroFunc || dst == f {
+		return ownPts(appendCombined(make([]point, 0, len(f.pts)+len(rect)), f.pts, rect, opAdd))
+	}
+	pts := appendCombined(dst.pts[:0], f.pts, rect, opAdd)
+	if len(pts) == 1 && pts[0].n == 0 {
+		pts = pts[:0]
+	}
+	dst.pts = pts
+	return dst
+}
+
+// appendRectPts appends the normalized points of Rect(t0, dur, n) onto dst.
+// dur and n must be non-zero, dur and t0 non-negative.
+func appendRectPts(dst []point, t0, dur float64, n int) []point {
+	if t0 > 0 {
+		dst = append(dst, point{0, 0})
+	}
+	dst = append(dst, point{t0, n})
+	if !math.IsInf(dur, 1) {
+		dst = append(dst, point{t0 + dur, 0})
+	}
+	return dst
+}
+
+// Builder accumulates a step function left to right, reusing its internal
+// storage across Reset calls. It is the allocation-free way to construct a
+// profile whose breakpoints are produced in time order (e.g. the
+// equi-partition schedule walking piece-wise constant intervals).
+type Builder struct {
+	pts []point
+}
+
+// Reset clears the builder for a new function, keeping capacity.
+func (b *Builder) Reset() { b.pts = b.pts[:0] }
+
+// Append records that the function holds value n from time t on. Calls must
+// use non-decreasing t; equal-value runs and repeated times collapse
+// automatically (the last value at a time wins).
+func (b *Builder) Append(t float64, n int) {
+	if len(b.pts) > 0 {
+		if last := &b.pts[len(b.pts)-1]; last.t == t {
+			last.n = n
+			// Re-collapse against the predecessor if the overwrite made
+			// them equal.
+			if k := len(b.pts); k >= 2 && b.pts[k-2].n == n {
+				b.pts = b.pts[:k-1]
+			}
+			return
+		} else if last.t > t {
+			panic("stepfunc: Builder.Append times must be non-decreasing")
+		} else if last.n == n {
+			return
+		}
+	}
+	b.pts = append(b.pts, point{t, n})
+}
+
+// Fn materializes the accumulated function into a fresh immutable StepFunc.
+// The builder remains usable (and reusable) afterwards.
+func (b *Builder) Fn() *StepFunc {
+	pts := b.pts
+	if len(pts) == 0 {
+		return zeroFunc
+	}
+	if pts[0].t == 0 {
+		if len(pts) == 1 && pts[0].n == 0 {
+			return zeroFunc
+		}
+		return &StepFunc{pts: append(make([]point, 0, len(pts)), pts...)}
+	}
+	// The function starts after 0: anchor it with a zero segment, merging
+	// any leading zero-valued points into the anchor.
+	out := make([]point, 0, len(pts)+1)
+	out = append(out, point{0, 0})
+	for _, p := range pts {
+		if out[len(out)-1].n != p.n {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 1 {
+		return zeroFunc
+	}
+	return &StepFunc{pts: out}
 }
 
 // MinOn returns the minimum value of f on [t0, t1). t1 may be Inf.
@@ -412,15 +710,26 @@ func (f *StepFunc) MaxValue() int {
 
 // TrimBefore returns a function that equals f on [t, ∞) and extends f(t)
 // backwards to 0. The RMS trims views before pushing them: values in the
-// past are reconstruction artifacts, not information.
+// past are reconstruction artifacts, not information. If nothing is
+// trimmed, f itself is returned.
 func (f *StepFunc) TrimBefore(t float64) *StepFunc {
 	if t <= 0 || len(f.pts) == 0 {
 		return f
 	}
 	i := sort.Search(len(f.pts), func(i int) bool { return f.pts[i].t > t })
 	// f.pts[i-1] covers t (i >= 1 because pts[0].t == 0 <= t).
-	pts := append([]point{{0, f.pts[i-1].n}}, f.pts[i:]...)
-	return normalize(pts)
+	if i == 1 {
+		return f // nothing before t to discard
+	}
+	tail := f.pts[i:]
+	n0 := f.pts[i-1].n
+	if len(tail) == 0 && n0 == 0 {
+		return zeroFunc
+	}
+	pts := make([]point, 0, 1+len(tail))
+	pts = append(pts, point{0, n0})
+	pts = append(pts, tail...) // tail[0].n != n0 by normalization of f
+	return &StepFunc{pts: pts}
 }
 
 // Steps returns the function as the paper's list of (duration, node-count)

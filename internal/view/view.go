@@ -4,7 +4,13 @@
 // a preemptive view — and the scheduler manipulates views as scratch values
 // while computing a schedule.
 //
-// Views are treated as immutable: every operation returns a new View.
+// The profiles stored in a view are immutable everywhere (see stepfunc);
+// only the map itself is ever mutated. The value-returning operations (Add,
+// Sub, Union, Clip, ...) treat views as immutable and return a new View —
+// possibly sharing profiles with their operands. The Mut* operations are
+// the mutable-accumulator mode used on scheduler scratch: they update the
+// receiver's map in place, so the caller must own the map (profiles may
+// still be shared freely).
 package view
 
 import (
@@ -66,7 +72,8 @@ func (v View) Clusters() []ClusterID {
 	return out
 }
 
-// Clone returns a deep copy of the view.
+// Clone returns a copy of the view (a fresh map; the immutable profiles are
+// shared).
 func (v View) Clone() View {
 	out := make(View, len(v))
 	for cid, f := range v {
@@ -75,17 +82,20 @@ func (v View) Clone() View {
 	return out
 }
 
-// combine merges two views cluster-wise with op.
+// combine merges two views cluster-wise with op: first every cluster of a,
+// then the clusters only b has. No intermediate key-set is materialized.
 func combine(a, b View, op func(x, y *stepfunc.StepFunc) *stepfunc.StepFunc) View {
-	out := New()
-	seen := map[ClusterID]bool{}
+	out := make(View, len(a)+len(b))
 	for cid := range a {
-		seen[cid] = true
+		f := op(a.Get(cid), b.Get(cid))
+		if !f.IsZero() {
+			out[cid] = f
+		}
 	}
 	for cid := range b {
-		seen[cid] = true
-	}
-	for cid := range seen {
+		if _, ok := a[cid]; ok {
+			continue
+		}
 		f := op(a.Get(cid), b.Get(cid))
 		if !f.IsZero() {
 			out[cid] = f
@@ -116,28 +126,122 @@ func (v View) Clip(o View) View {
 	return combine(v, o, func(x, y *stepfunc.StepFunc) *stepfunc.StepFunc { return x.Min(y) })
 }
 
-// ClampMin returns the view with every profile clamped below at lo
-// (typically 0, to present applications only non-negative availability).
-func (v View) ClampMin(lo int) View {
+// Sum returns the cluster-wise sum of any number of views in a single k-way
+// pass per cluster (see stepfunc.SumAll), instead of the len(vs)-1
+// intermediate views a fold over Add would build. Nil views count as empty.
+func Sum(vs ...View) View {
 	out := New()
-	for cid, f := range v {
-		g := f.ClampMin(lo)
-		if !g.IsZero() {
-			out[cid] = g
+	var fs []*stepfunc.StepFunc
+	for i, v := range vs {
+		for cid := range v {
+			if _, done := out[cid]; done {
+				continue
+			}
+			fs = fs[:0]
+			// Views before vs[i] cannot contain cid, or it would already
+			// be marked done.
+			for _, w := range vs[i:] {
+				if f, ok := w[cid]; ok && f != nil {
+					fs = append(fs, f)
+				}
+			}
+			out[cid] = stepfunc.SumAll(fs)
+		}
+	}
+	for cid, f := range out {
+		if f.IsZero() {
+			delete(out, cid)
 		}
 	}
 	return out
 }
 
-// TrimBefore returns the view with every profile's pre-t history replaced
-// by its value at t (see stepfunc.TrimBefore).
-func (v View) TrimBefore(t float64) View {
-	out := New()
+// MutAdd adds o into v cluster-wise, mutating v's map in place. v may end
+// up sharing profiles with o.
+func (v View) MutAdd(o View) {
+	for cid, g := range o {
+		f := v.Get(cid).Add(g)
+		if f.IsZero() {
+			delete(v, cid)
+		} else {
+			v[cid] = f
+		}
+	}
+}
+
+// MutSub subtracts o from v cluster-wise, mutating v's map in place.
+func (v View) MutSub(o View) {
+	for cid, g := range o {
+		f := v.Get(cid).Sub(g)
+		if f.IsZero() {
+			delete(v, cid)
+		} else {
+			v[cid] = f
+		}
+	}
+}
+
+// MutClampMin clamps every profile of v below at lo, in place.
+func (v View) MutClampMin(lo int) {
 	for cid, f := range v {
-		g := f.TrimBefore(t)
-		if !g.IsZero() {
+		g := f.ClampMin(lo)
+		if g.IsZero() {
+			delete(v, cid)
+		} else if g != f {
+			v[cid] = g
+		}
+	}
+}
+
+// MutAddRect adds a rectangle of n nodes on [t0, t0+dur) to cluster cid,
+// mutating v's map in place. Unlike the immutable AddRect it does not clone
+// the map, which makes accumulating many rectangles linear instead of
+// quadratic. n may be negative (used by the scheduler to retire
+// allocations from an availability accumulator).
+func (v View) MutAddRect(cid ClusterID, t0, dur float64, n int) {
+	f := v.Get(cid).AddRect(t0, dur, n)
+	if f.IsZero() {
+		delete(v, cid)
+	} else {
+		v[cid] = f
+	}
+}
+
+// ClampMin returns the view with every profile clamped below at lo
+// (typically 0, to present applications only non-negative availability).
+// If no profile changes, v itself is returned.
+func (v View) ClampMin(lo int) View {
+	return v.transformed(func(f *stepfunc.StepFunc) *stepfunc.StepFunc { return f.ClampMin(lo) })
+}
+
+// TrimBefore returns the view with every profile's pre-t history replaced
+// by its value at t (see stepfunc.TrimBefore). If no profile changes, v
+// itself is returned.
+func (v View) TrimBefore(t float64) View {
+	return v.transformed(func(f *stepfunc.StepFunc) *stepfunc.StepFunc { return f.TrimBefore(t) })
+}
+
+// transformed applies op to every profile, cloning the map lazily on the
+// first change; if op leaves every profile identical, v itself is returned
+// and nothing is allocated.
+func (v View) transformed(op func(*stepfunc.StepFunc) *stepfunc.StepFunc) View {
+	var out View // nil until a profile changes
+	for cid, f := range v {
+		g := op(f)
+		if g == f {
+			continue
+		}
+		if out == nil {
+			out = v.Clone()
+		}
+		if g.IsZero() {
+			delete(out, cid)
+		} else {
 			out[cid] = g
 		}
+	}
+	if out == nil {
+		return v
 	}
 	return out
 }
@@ -147,10 +251,7 @@ func (v View) TrimBefore(t float64) View {
 // "Vo ← Vo + {r.cid : [(r.scheduledAt, 0), (r.duration, r.nalloc)]}".
 func (v View) AddRect(cid ClusterID, t0, dur float64, n int) View {
 	out := v.Clone()
-	out[cid] = out.Get(cid).AddRect(t0, dur, n)
-	if out[cid].IsZero() {
-		delete(out, cid)
-	}
+	out.MutAddRect(cid, t0, dur, n)
 	return out
 }
 
