@@ -8,14 +8,19 @@ package coormv2
 // full-scale figures (recorded in EXPERIMENTS.md).
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
 	"coormv2/internal/amr"
 	"coormv2/internal/apps"
+	"coormv2/internal/clock"
 	"coormv2/internal/core"
 	"coormv2/internal/experiments"
+	"coormv2/internal/federation"
 	"coormv2/internal/request"
+	"coormv2/internal/rms"
+	"coormv2/internal/sim"
 	"coormv2/internal/stats"
 	"coormv2/internal/view"
 )
@@ -166,6 +171,97 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	b.StopTimer()
 	reqPerSec := float64(totalReqs) * float64(b.N) / b.Elapsed().Seconds()
 	b.ReportMetric(reqPerSec, "requests/s")
+}
+
+// inertApp discards all notifications.
+type inertApp struct{}
+
+func (inertApp) OnViews(_, _ view.View)    {}
+func (inertApp) OnStart(request.ID, []int) {}
+func (inertApp) OnKill(string)             {}
+
+// BenchmarkFederatedThroughput measures client-facing request throughput of
+// a federated RMS under localized churn on a steady fleet: 32 clusters ×
+// 256 nodes carry 256 long-running applications (4 standing requests each —
+// a pre-allocation, a running non-preemptible allocation, a pending NEXT
+// update and a preemptible request), and one short preemptible request per
+// virtual second arrives on a rotating cluster. Every arrival forces a
+// re-scheduling round (§3.2): a single RMS re-schedules the whole fleet for
+// each local change, while a federation re-runs only the shard owning the
+// touched cluster — the scheduling work the other shards avoid is the
+// aggregate-throughput gain of sharding, independent of core count. Shards
+// advance deterministically on one shared virtual clock; the reported
+// metric is churn requests fully processed (request → start → expiry
+// sweep) per wall-clock second.
+func BenchmarkFederatedThroughput(b *testing.B) {
+	const (
+		nClusters = 32
+		nodesPer  = 256
+		appsPerCl = 8
+	)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := sim.NewEngine()
+			clk := clock.SimClock{E: e}
+			clusters := make(map[view.ClusterID]int, nClusters)
+			cids := make([]view.ClusterID, nClusters)
+			for i := range cids {
+				cids[i] = view.ClusterID(fmt.Sprintf("c%d", i))
+				clusters[cids[i]] = nodesPer
+			}
+			fed := federation.New(federation.Config{
+				Clusters:        clusters,
+				Shards:          shards,
+				ReschedInterval: 1,
+				GracePeriod:     1e18, // standing apps never release; don't kill them
+				Clock:           clk,
+			})
+			for i := 0; i < nClusters*appsPerCl; i++ {
+				cid := cids[i%nClusters]
+				sess := fed.Connect(inertApp{})
+				// Staggered long durations give every cluster profile a
+				// realistic breakpoint population and keep the standing load
+				// live for the whole run.
+				pa, err := sess.Request(rms.RequestSpec{Cluster: cid, N: 16, Duration: 1e9 + float64(i)*1013, Type: request.PreAlloc})
+				if err != nil {
+					b.Fatal(err)
+				}
+				np, err := sess.Request(rms.RequestSpec{Cluster: cid, N: 8, Duration: 1e8 + float64(i)*997, Type: request.NonPreempt,
+					RelatedHow: request.Coalloc, RelatedTo: pa})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sess.Request(rms.RequestSpec{Cluster: cid, N: 12, Duration: 1e8 + float64(i)*991, Type: request.NonPreempt,
+					RelatedHow: request.Next, RelatedTo: np}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sess.Request(rms.RequestSpec{Cluster: cid, N: 4, Duration: math.Inf(1), Type: request.Preempt}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// One churn session, connected up front; its requests rotate
+			// across clusters and are routed shard by shard.
+			churn := fed.Connect(inertApp{})
+			// Settle the initial rounds.
+			e.Run(e.Now() + 5)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Blocks of 8 arrivals per cluster keep the per-shard event
+				// pattern (and so the §3.2 round coalescing) identical across
+				// shard counts; only the per-round fleet size differs.
+				if _, err := churn.Request(rms.RequestSpec{
+					Cluster: cids[(i/8)%nClusters], N: 1, Duration: 0.4, Type: request.Preempt,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				// Advance one re-scheduling interval: only shards with
+				// triggered rounds or due expiries do any work.
+				e.Run(e.Now() + 1)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "requests/s")
+		})
+	}
 }
 
 // BenchmarkEquivalentStatic measures the n_eq solver on a full-length

@@ -16,6 +16,7 @@ import (
 	"strconv"
 
 	"coormv2/internal/amr"
+	"coormv2/internal/apps"
 	"coormv2/internal/experiments"
 	"coormv2/internal/stats"
 	"coormv2/internal/workload"
@@ -23,10 +24,11 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig9|fig10|fig11|ablation|accounting|replay|all")
-		seed  = flag.Int64("seed", 1, "base random seed")
-		full  = flag.Bool("full", false, "paper scale (1000 steps, 3.16 TiB) instead of the fast reduced scale")
-		steps = flag.Int("steps", 0, "override profile length (0 = scale default)")
+		exp    = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig9|fig10|fig11|ablation|accounting|replay|federated|all")
+		seed   = flag.Int64("seed", 1, "base random seed")
+		full   = flag.Bool("full", false, "paper scale (1000 steps, 3.16 TiB) instead of the fast reduced scale")
+		steps  = flag.Int("steps", 0, "override profile length (0 = scale default)")
+		shards = flag.Int("shards", 4, "maximum shard count for the federated experiment (swept in powers of two)")
 	)
 	flag.Parse()
 
@@ -81,6 +83,10 @@ func main() {
 	if all || *exp == "replay" {
 		matched = true
 		run("Replay — synthetic rigid trace with and without a scavenging PSA", func() error { return replay(*seed) })
+	}
+	if all || *exp == "federated" {
+		matched = true
+		run("Federated — rigid trace + PSAs + evolving app across scheduler shards", func() error { return federated(*seed, *shards) })
 	}
 	if !matched {
 		fmt.Fprintf(os.Stderr, "coorm-exp: unknown experiment %q\n", *exp)
@@ -293,6 +299,47 @@ func replay(seed int64) error {
 	}
 	fmt.Print(experiments.FormatTable(
 		[]string{"setup", "mean-wait-s", "max-wait-s", "makespan-s", "rigid-util-%", "total-util-%"}, out))
+	return nil
+}
+
+// federated replays one rigid trace through federations of growing shard
+// count. The total node count is fixed (per-shard clusters shrink as the
+// shard count grows) so the rows compare scheduling topology, not capacity.
+// A 1-shard federation is byte-identical to a single RMS (see the
+// differential test in internal/experiments), so the first row doubles as
+// the unsharded baseline.
+func federated(seed int64, maxShards int) error {
+	jobs := workload.Synthetic(stats.NewRand(seed), workload.SyntheticConfig{
+		Jobs: 200, MaxNodes: 16, MeanInterArr: 60, MeanRuntime: 1200,
+		PowerOfTwoBias: 0.5,
+	})
+	st := workload.Summarize(jobs)
+	fmt.Printf("trace: %d jobs, %.3g node·s, max %d nodes/job\n", st.Jobs, st.TotalArea, st.MaxNodes)
+	const totalNodes = 128
+	var out [][]string
+	for shards := 1; shards <= maxShards; shards *= 2 {
+		res, err := experiments.RunFederatedReplay(experiments.FederatedReplayConfig{
+			Jobs:          jobs,
+			Shards:        shards,
+			NodesPerShard: totalNodes / shards,
+			PSATaskDur:    300,
+			Evolving: []apps.Segment{
+				{N: 8, Duration: 1800}, {N: 16, Duration: 1800}, {N: 4, Duration: 1800},
+			},
+		})
+		if err != nil {
+			return err
+		}
+		out = append(out, []string{
+			strconv.Itoa(res.Shards), strconv.Itoa(res.Nodes), strconv.Itoa(res.Completed),
+			f(res.MeanWait, 1), f(res.MaxWait, 1), f(res.Makespan, 0),
+			f(100*res.RigidUtilization, 2), f(100*res.UsedFraction, 2),
+			strconv.FormatInt(res.Events, 10),
+		})
+	}
+	fmt.Print(experiments.FormatTable(
+		[]string{"shards", "nodes", "jobs", "mean-wait-s", "max-wait-s", "makespan-s",
+			"rigid-util-%", "used-%", "events"}, out))
 	return nil
 }
 

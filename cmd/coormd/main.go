@@ -6,6 +6,12 @@
 // Usage:
 //
 //	coormd -listen :7777 -cluster main=128 -cluster gpu=16 -interval 1
+//	coormd -cluster a=64 -cluster b=64 -cluster c=64 -shards 3 -workers 32
+//
+// With -shards > 1 the daemon runs a federated RMS: the cluster set is
+// partitioned across that many independent scheduler shards and every
+// session's requests are routed to the shard owning their target cluster
+// (see internal/federation).
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"coormv2/internal/clock"
 	"coormv2/internal/core"
+	"coormv2/internal/federation"
 	"coormv2/internal/metrics"
 	"coormv2/internal/rms"
 	"coormv2/internal/transport"
@@ -55,6 +62,8 @@ func main() {
 		interval = flag.Float64("interval", 1, "re-scheduling interval in seconds (§3.2)")
 		grace    = flag.Float64("grace", 0, "preemption grace period in seconds (0 = 5×interval)")
 		strict   = flag.Bool("strict", false, "use strict equi-partitioning instead of filling")
+		shards   = flag.Int("shards", 1, "scheduler shards; >1 federates the cluster set across independent schedulers")
+		workers  = flag.Int("workers", 0, "admission limit: max concurrently served application sessions; further connections wait unserved until one ends (0 = unlimited)")
 	)
 	flag.Var(clusters, "cluster", "cluster as name=nodes (repeatable)")
 	flag.Parse()
@@ -66,21 +75,43 @@ func main() {
 	if *strict {
 		policy = core.StrictEquiPartition
 	}
-	srv := rms.NewServer(rms.Config{
-		Clusters:        clusters,
-		ReschedInterval: *interval,
-		GracePeriod:     *grace,
-		Clock:           clock.NewRealClock(),
-		Policy:          policy,
-		Metrics:         metrics.NewRecorder(),
-	})
-	d := transport.NewServer(srv)
+	var d *transport.Server
+	topology := clusters.String()
+	if *shards > 1 {
+		fed := federation.New(federation.Config{
+			Clusters:        clusters,
+			Shards:          *shards,
+			ReschedInterval: *interval,
+			GracePeriod:     *grace,
+			Clock:           clock.NewRealClock(),
+			Policy:          policy,
+			Metrics:         func(int) *metrics.Recorder { return metrics.NewRecorder() },
+		})
+		d = transport.NewFederatedServer(fed)
+		var shardDesc []string
+		for i := 0; i < fed.NumShards(); i++ {
+			shardDesc = append(shardDesc, fmt.Sprintf("shard%d=%s",
+				i, clusterFlags(fed.Shard(i).Scheduler().Clusters()).String()))
+		}
+		topology = strings.Join(shardDesc, " ")
+	} else {
+		srv := rms.NewServer(rms.Config{
+			Clusters:        clusters,
+			ReschedInterval: *interval,
+			GracePeriod:     *grace,
+			Clock:           clock.NewRealClock(),
+			Policy:          policy,
+			Metrics:         metrics.NewRecorder(),
+		})
+		d = transport.NewServer(srv)
+	}
+	d.Workers = *workers
 	addr, err := d.Listen(*listen)
 	if err != nil {
 		log.Fatalf("coormd: %v", err)
 	}
-	log.Printf("coormd: serving %s on %s (policy %s, interval %gs)",
-		clusters.String(), addr, policy, *interval)
+	log.Printf("coormd: serving %s on %s (policy %s, interval %gs, workers %d)",
+		topology, addr, policy, *interval, *workers)
 	if err := d.Serve(); err != nil {
 		log.Printf("coormd: %v", err)
 		os.Exit(1)

@@ -6,8 +6,8 @@ import (
 
 	"coormv2/internal/apps"
 	"coormv2/internal/clock"
+	"coormv2/internal/core"
 	"coormv2/internal/metrics"
-	"coormv2/internal/rms"
 	"coormv2/internal/sim"
 	"coormv2/internal/view"
 	"coormv2/internal/workload"
@@ -26,6 +26,9 @@ type ReplayConfig struct {
 	PSATaskDur  float64
 	// MaxSimTime aborts runaway replays.
 	MaxSimTime float64
+	// Shards, when positive, replays through a federation.Federator (see
+	// ScenarioConfig.Shards).
+	Shards int
 }
 
 // ReplayResult aggregates replay statistics.
@@ -63,12 +66,8 @@ func RunReplay(cfg ReplayConfig) (*ReplayResult, error) {
 
 	e := sim.NewEngine()
 	rec := metrics.NewRecorder()
-	srv := rms.NewServer(rms.Config{
-		Clusters:        map[view.ClusterID]int{Cluster: cfg.Nodes},
-		ReschedInterval: 1,
-		Clock:           clock.SimClock{E: e},
-		Metrics:         rec,
-	})
+	connect, reader := buildRMS(cfg.Shards, map[view.ClusterID]int{Cluster: cfg.Nodes},
+		1, clock.SimClock{E: e}, core.EquiPartitionFilling, rec)
 
 	var psa *apps.PSA
 	var psaID int
@@ -76,7 +75,7 @@ func RunReplay(cfg ReplayConfig) (*ReplayResult, error) {
 		psa = apps.NewPSA(clock.SimClock{E: e}, apps.PSAConfig{
 			Cluster: Cluster, TaskDuration: cfg.PSATaskDur, Metrics: rec,
 		})
-		sess := srv.Connect(psa)
+		sess := connect(psa)
 		psa.SetMetricsID(sess.AppID())
 		psaID = sess.AppID()
 		psa.Attach(sess)
@@ -96,7 +95,7 @@ func RunReplay(cfg ReplayConfig) (*ReplayResult, error) {
 					e.Stop()
 				}
 			}
-			sess := srv.Connect(r)
+			sess := connect(r)
 			r.Attach(sess)
 			if err := r.Submit(); err != nil {
 				panic(fmt.Sprintf("replay: submit job %d: %v", j.ID, err))
@@ -141,7 +140,7 @@ func RunReplay(cfg ReplayConfig) (*ReplayResult, error) {
 		res.Utilization = area / (float64(cfg.Nodes) * res.Makespan)
 	}
 	if psa != nil {
-		res.PSAUseful = rec.Area(psaID, res.Makespan) - psa.Waste()
+		res.PSAUseful = reader.Area(psaID, res.Makespan) - psa.Waste()
 		if res.PSAUseful < 0 {
 			res.PSAUseful = 0
 		}

@@ -12,7 +12,9 @@ import (
 	"coormv2/internal/apps"
 	"coormv2/internal/clock"
 	"coormv2/internal/core"
+	"coormv2/internal/federation"
 	"coormv2/internal/metrics"
+	"coormv2/internal/request"
 	"coormv2/internal/rms"
 	"coormv2/internal/sim"
 	"coormv2/internal/stats"
@@ -54,6 +56,61 @@ type ScenarioConfig struct {
 	PSAHook func(index int, p *apps.PSA)
 	// MaxSimTime aborts runaway simulations (default 10^7 s).
 	MaxSimTime float64
+	// Shards, when positive, runs the scenario through a
+	// federation.Federator with that many shards instead of a single
+	// rms.Server. The scenario has one cluster, so the federation clamps to
+	// one shard — the point is exercising the whole routing/merging layer:
+	// a 1-shard federation must reproduce the single-RMS run byte-for-byte
+	// (see the differential test).
+	Shards int
+}
+
+// session is the server-side handle the harness needs; both *rms.Session
+// and *federation.Session satisfy it.
+type session interface {
+	AppID() int
+	Request(spec rms.RequestSpec) (request.ID, error)
+	Done(id request.ID, released []int) error
+	Disconnect()
+}
+
+// metricsReader is the read surface shared by *metrics.Recorder and
+// *metrics.Aggregate.
+type metricsReader interface {
+	Area(appID int, t float64) float64
+	PreAllocArea(appID int, t float64) float64
+	UsedFraction(capacity int, horizon float64) float64
+}
+
+// buildRMS wires either a single rms.Server or a Federator over the given
+// clusters. rec is the client-side recorder handed to applications (PSA
+// waste); the returned reader aggregates it with the per-shard recorders.
+func buildRMS(shards int, clusters map[view.ClusterID]int, interval float64, clk clock.Clock, policy core.PreemptPolicy, rec *metrics.Recorder) (connect func(rms.AppHandler) session, reader metricsReader) {
+	if shards <= 0 {
+		srv := rms.NewServer(rms.Config{
+			Clusters:        clusters,
+			ReschedInterval: interval,
+			Clock:           clk,
+			Policy:          policy,
+			Metrics:         rec,
+		})
+		return func(h rms.AppHandler) session { return srv.Connect(h) }, rec
+	}
+	shardRecs := []*metrics.Recorder{rec}
+	fed := federation.New(federation.Config{
+		Clusters:        clusters,
+		Shards:          shards,
+		ReschedInterval: interval,
+		Clock:           clk,
+		Policy:          policy,
+		Metrics: func(int) *metrics.Recorder {
+			r := metrics.NewRecorder()
+			shardRecs = append(shardRecs, r)
+			return r
+		},
+	})
+	return func(h rms.AppHandler) session { return fed.Connect(h) },
+		metrics.NewAggregate(shardRecs...)
 }
 
 // ScenarioResult aggregates the §5 metrics of one run.
@@ -114,13 +171,10 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 
 	e := sim.NewEngine()
 	rec := metrics.NewRecorder()
-	srv := rms.NewServer(rms.Config{
-		Clusters:        map[view.ClusterID]int{Cluster: nodes},
-		ReschedInterval: 1, // §5.1.3: "set to 1 second, to obtain a very reactive system"
-		Clock:           clock.SimClock{E: e},
-		Policy:          cfg.Policy,
-		Metrics:         rec,
-	})
+	// §5.1.3: the re-scheduling interval is "set to 1 second, to obtain a
+	// very reactive system".
+	connect, reader := buildRMS(cfg.Shards, map[view.ClusterID]int{Cluster: nodes},
+		1, clock.SimClock{E: e}, cfg.Policy, rec)
 
 	nea := apps.NewNEA(clock.SimClock{E: e}, apps.NEAConfig{
 		Cluster: Cluster, Profile: profile, Params: params,
@@ -130,7 +184,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	// Freeze the clock at the makespan so every metric is evaluated over
 	// exactly the AMR's run, as in §5.
 	nea.OnFinish = e.Stop
-	neaSess := srv.Connect(nea)
+	neaSess := connect(nea)
 	nea.Attach(neaSess)
 	if err := nea.Submit(); err != nil {
 		return nil, err
@@ -145,7 +199,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		if cfg.PSAHook != nil {
 			cfg.PSAHook(i, p)
 		}
-		sess := srv.Connect(p)
+		sess := connect(p)
 		p.SetMetricsID(sess.AppID())
 		p.Attach(sess)
 		psas = append(psas, p)
@@ -182,16 +236,16 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	res := &ScenarioResult{
 		Nodes:           nodes,
 		Neq:             neq,
-		AMRArea:         rec.Area(neaSess.AppID(), makespan),
+		AMRArea:         reader.Area(neaSess.AppID(), makespan),
 		AMRRuntime:      nea.EndTime - nea.StartTime,
-		AMRPreAllocArea: rec.PreAllocArea(neaSess.AppID(), makespan),
+		AMRPreAllocArea: reader.PreAllocArea(neaSess.AppID(), makespan),
 		Makespan:        makespan,
 		Events:          e.Processed(),
 	}
 	for i, p := range psas {
-		res.PSAArea = append(res.PSAArea, rec.Area(psaIDs[i], makespan))
+		res.PSAArea = append(res.PSAArea, reader.Area(psaIDs[i], makespan))
 		res.PSAWaste = append(res.PSAWaste, p.Waste())
 	}
-	res.UsedFraction = rec.UsedFraction(nodes, makespan)
+	res.UsedFraction = reader.UsedFraction(nodes, makespan)
 	return res, nil
 }

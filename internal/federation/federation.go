@@ -1,0 +1,227 @@
+// Package federation scales the CooRMv2 RMS horizontally: a Federator
+// front-end partitions the cluster set across N independent rms.Server
+// shards, routes application sessions and request()/done() calls to the
+// shard owning their target cluster, and merges the per-shard
+// non-preemptive/preemptive views into the single federated view each
+// application sees. Scheduling semantics are untouched — every shard runs
+// the unmodified §3 algorithm over its own clusters; the federation layer
+// only routes and merges.
+//
+// Like the rest of the system the Federator is clock-agnostic: under
+// clock.SimClock all shards advance deterministically on one shared virtual
+// clock (the federated experiment scenarios), and under clock.RealClock the
+// shards run concurrently, each behind its own lock, with
+// internal/transport routing TCP sessions to them.
+//
+// Identifier spaces: the Federator owns both the application-ID and the
+// request-ID space. Application IDs are assigned by the front-end and
+// registered verbatim on every shard (rms.Server.ConnectID), so per-shard
+// metrics recorders aggregate by the same ID. Request IDs are federated:
+// the front-end assigns them sequentially and keeps a per-session
+// federated↔shard-local translation table, registered atomically with the
+// shard's own bookkeeping via rms.Session.RequestObserved.
+//
+// Known limitation: a request may only relate (NEXT/COALLOC) to a request
+// on the same shard, i.e. targeting a cluster owned by the same shard.
+// Cross-shard placement is a ROADMAP open item.
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"coormv2/internal/clock"
+	"coormv2/internal/core"
+	"coormv2/internal/metrics"
+	"coormv2/internal/request"
+	"coormv2/internal/rms"
+	"coormv2/internal/view"
+)
+
+// Config parametrizes a Federator. The scheduling knobs (ReschedInterval,
+// Policy, GracePeriod, Clip) are applied uniformly to every shard.
+type Config struct {
+	// Clusters is the full federated cluster set.
+	Clusters map[view.ClusterID]int
+	// Shards is the number of scheduler shards. It is clamped to
+	// [1, len(Clusters)]: a cluster is never split across shards.
+	Shards int
+	// ReschedInterval is the per-shard re-scheduling interval (§3.2).
+	ReschedInterval float64
+	// Clock drives every shard; use clock.SimClock for simulations.
+	Clock clock.Clock
+	// Policy selects the preemptible division policy.
+	Policy core.PreemptPolicy
+	// GracePeriod is the per-shard protocol-violation grace period.
+	GracePeriod float64
+	// Clip optionally limits non-preemptive views; each shard receives the
+	// restriction of Clip to its own clusters.
+	Clip view.View
+	// Metrics, when non-nil, is called once per shard (in shard order,
+	// during New) to create that shard's recorder; returning nil disables
+	// metrics for the shard. Shards must not share a recorder: each
+	// reports per-shard allocation state keyed by the federated
+	// application ID, and metrics.Aggregate sums them back together.
+	Metrics func(shard int) *metrics.Recorder
+}
+
+// Federator routes application sessions across a set of rms.Server shards.
+type Federator struct {
+	shards []*rms.Server
+	owner  map[view.ClusterID]int // cluster → shard index
+	clk    clock.Clock
+
+	mu      sync.Mutex
+	nextApp int
+	nextReq request.ID
+}
+
+// Partition splits a cluster set into at most n per-shard cluster sets,
+// assigning clusters round-robin in sorted ID order so the split is
+// deterministic. It never returns an empty shard: n is clamped to
+// [1, len(clusters)].
+func Partition(clusters map[view.ClusterID]int, n int) []map[view.ClusterID]int {
+	if len(clusters) == 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(clusters) {
+		n = len(clusters)
+	}
+	ids := make([]view.ClusterID, 0, len(clusters))
+	for cid := range clusters {
+		ids = append(ids, cid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	parts := make([]map[view.ClusterID]int, n)
+	for i := range parts {
+		parts[i] = make(map[view.ClusterID]int)
+	}
+	for i, cid := range ids {
+		parts[i%n][cid] = clusters[cid]
+	}
+	return parts
+}
+
+// New creates a Federator and its shards. It panics on an invalid
+// configuration, mirroring rms.NewServer.
+func New(cfg Config) *Federator {
+	if cfg.Clock == nil {
+		panic("federation: Config.Clock is required")
+	}
+	if len(cfg.Clusters) == 0 {
+		panic("federation: at least one cluster is required")
+	}
+	parts := Partition(cfg.Clusters, cfg.Shards)
+	f := &Federator{
+		shards:  make([]*rms.Server, len(parts)),
+		owner:   make(map[view.ClusterID]int, len(cfg.Clusters)),
+		clk:     cfg.Clock,
+		nextApp: 1,
+		nextReq: 1,
+	}
+	for i, part := range parts {
+		var rec *metrics.Recorder
+		if cfg.Metrics != nil {
+			rec = cfg.Metrics(i)
+		}
+		f.shards[i] = rms.NewServer(rms.Config{
+			Clusters:        part,
+			ReschedInterval: cfg.ReschedInterval,
+			Clock:           cfg.Clock,
+			Policy:          cfg.Policy,
+			GracePeriod:     cfg.GracePeriod,
+			Clip:            clipFor(cfg.Clip, part),
+			Metrics:         rec,
+		})
+		for cid := range part {
+			f.owner[cid] = i
+		}
+	}
+	return f
+}
+
+// clipFor restricts an administrator clip to one shard's clusters.
+func clipFor(clip view.View, part map[view.ClusterID]int) view.View {
+	if clip == nil {
+		return nil
+	}
+	out := view.New()
+	for cid := range part {
+		if f, ok := clip[cid]; ok {
+			out[cid] = f
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// NumShards returns the number of scheduler shards (after clamping).
+func (f *Federator) NumShards() int { return len(f.shards) }
+
+// Shard exposes one shard for inspection (tests, benchmarks, experiment
+// harness). Mutating it directly is not supported.
+func (f *Federator) Shard(i int) *rms.Server { return f.shards[i] }
+
+// Owner returns the index of the shard owning a cluster.
+func (f *Federator) Owner(cid view.ClusterID) (int, bool) {
+	i, ok := f.owner[cid]
+	return i, ok
+}
+
+// Now returns the federation's current time.
+func (f *Federator) Now() float64 { return f.clk.Now() }
+
+// Connect registers an application with every shard under one federated
+// application ID and returns the federated session. Connecting to all
+// shards eagerly gives the application the same full-cluster-set views a
+// single RMS would push, merged by the session's handler fan-in.
+func (f *Federator) Connect(h rms.AppHandler) *Session {
+	f.mu.Lock()
+	id := f.nextApp
+	f.nextApp++
+	f.mu.Unlock()
+
+	sess := &Session{
+		f:          f,
+		h:          h,
+		id:         id,
+		subs:       make([]*rms.Session, len(f.shards)),
+		shardViews: make([][2]view.View, len(f.shards)),
+		toLocal:    make(map[request.ID]shardReq),
+		fromLocal:  make([]map[request.ID]request.ID, len(f.shards)),
+	}
+	for i := range sess.fromLocal {
+		sess.fromLocal[i] = make(map[request.ID]request.ID)
+	}
+	// Connect outside the federator lock: ConnectID flushes notifications,
+	// which may synchronously re-enter the session (and, through an
+	// application handler, the federator).
+	for i, sh := range f.shards {
+		sub, err := sh.ConnectID(&shardHandler{sess: sess, shard: i}, id)
+		if err != nil {
+			// The federator owns the ID space; a collision is a bug.
+			panic(fmt.Sprintf("federation: shard %d rejected app %d: %v", i, id, err))
+		}
+		sess.mu.Lock()
+		sess.subs[i] = sub
+		sess.mu.Unlock()
+	}
+	return sess
+}
+
+// nextRequestID reserves one federated request ID. Mirroring rms, an ID is
+// burned even if the shard later rejects the request spec, so a 1-shard
+// federation stays in lockstep with a single RMS.
+func (f *Federator) nextRequestID() request.ID {
+	f.mu.Lock()
+	id := f.nextReq
+	f.nextReq++
+	f.mu.Unlock()
+	return id
+}

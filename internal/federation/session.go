@@ -1,0 +1,223 @@
+package federation
+
+import (
+	"fmt"
+	"sync"
+
+	"coormv2/internal/request"
+	"coormv2/internal/rms"
+	"coormv2/internal/view"
+)
+
+// shardReq locates a request on its owning shard.
+type shardReq struct {
+	shard int
+	id    request.ID // shard-local request ID
+}
+
+// Session is one application's connection to the federation. It satisfies
+// the same application-side surface as *rms.Session (AppID, Request, Done,
+// Disconnect), so applications and the transport layer use the two
+// interchangeably.
+//
+// Locking discipline: sess.mu protects the routing tables and view state
+// and is never held while calling into a shard or into the application
+// handler. Shard calls may synchronously flush notifications back into the
+// shardHandler on the same goroutine, and application handlers may
+// synchronously call back into the session — both safe because no session
+// lock is held at those points. The one sanctioned nesting is shard lock →
+// sess.mu, inside the RequestObserved observe hook and inside handler
+// fan-in; no code path acquires them in the opposite order.
+type Session struct {
+	f  *Federator
+	h  rms.AppHandler
+	id int
+
+	mu   sync.Mutex
+	subs []*rms.Session // per-shard sub-sessions, indexed by shard
+	// toLocal / fromLocal translate between federated and shard-local
+	// request IDs. Entries live for the session's lifetime (pruning them on
+	// finish is a ROADMAP open item).
+	toLocal   map[request.ID]shardReq
+	fromLocal []map[request.ID]request.ID
+	killed    bool
+
+	// shardViews holds the latest views pushed by each shard; merged pushes
+	// are serialized by the delivering/viewsDirty pair so a slow handler
+	// never observes an older merge after a newer one.
+	shardViews [][2]view.View
+	viewsDirty bool
+	delivering bool
+}
+
+// AppID returns the federated application ID (identical on every shard).
+func (s *Session) AppID() int { return s.id }
+
+// Request routes the request() operation to the shard owning the target
+// cluster and returns its federated request ID.
+func (s *Session) Request(spec rms.RequestSpec) (request.ID, error) {
+	shard, ok := s.f.owner[spec.Cluster]
+	if !ok {
+		return 0, fmt.Errorf("rms: unknown cluster %q", spec.Cluster)
+	}
+
+	s.mu.Lock()
+	if s.killed {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("rms: session was terminated")
+	}
+	sub := s.subs[shard]
+	local := spec
+	if spec.RelatedHow != request.Free {
+		sr, ok := s.toLocal[spec.RelatedTo]
+		if !ok {
+			s.mu.Unlock()
+			return 0, fmt.Errorf("rms: related request %d not found", spec.RelatedTo)
+		}
+		if sr.shard != shard {
+			s.mu.Unlock()
+			return 0, fmt.Errorf("federation: request targets shard %d but relates to request %d on shard %d (cross-shard relations are not supported)",
+				shard, spec.RelatedTo, sr.shard)
+		}
+		local.RelatedTo = sr.id
+	}
+	s.mu.Unlock()
+
+	fid := s.f.nextRequestID()
+	// observe runs under the shard's lock, before any scheduling round can
+	// start the request, so OnStart always finds the mapping.
+	_, err := sub.RequestObserved(local, func(lid request.ID) {
+		s.mu.Lock()
+		s.toLocal[fid] = shardReq{shard: shard, id: lid}
+		s.fromLocal[shard][lid] = fid
+		s.mu.Unlock()
+	})
+	if err != nil {
+		return 0, err
+	}
+	return fid, nil
+}
+
+// Done routes the done() operation to the shard owning the request.
+func (s *Session) Done(id request.ID, released []int) error {
+	s.mu.Lock()
+	if s.killed {
+		s.mu.Unlock()
+		return fmt.Errorf("rms: session was terminated")
+	}
+	sr, ok := s.toLocal[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("rms: request %d not found", id)
+	}
+	sub := s.subs[sr.shard]
+	s.mu.Unlock()
+	return sub.Done(sr.id, released)
+}
+
+// Disconnect ends the session cleanly on every shard.
+func (s *Session) Disconnect() {
+	s.mu.Lock()
+	if s.killed {
+		s.mu.Unlock()
+		return
+	}
+	s.killed = true
+	subs := append([]*rms.Session(nil), s.subs...)
+	s.mu.Unlock()
+	for _, sub := range subs {
+		sub.Disconnect()
+	}
+}
+
+// shardHandler is the per-(session, shard) rms.AppHandler: it fans shard
+// notifications back into the federated session.
+type shardHandler struct {
+	sess  *Session
+	shard int
+}
+
+// OnViews merges the shard's fresh views with the latest views of every
+// other shard and pushes the federated result. Deliveries are serialized
+// per session: if a push arrives while another is being delivered (possible
+// under clock.RealClock where shards run concurrently, or when a handler
+// re-enters), it only marks the state dirty and the active deliverer loops.
+func (h *shardHandler) OnViews(np, p view.View) {
+	s := h.sess
+	s.mu.Lock()
+	s.shardViews[h.shard] = [2]view.View{np, p}
+	s.viewsDirty = true
+	if s.delivering {
+		s.mu.Unlock()
+		return
+	}
+	s.delivering = true
+	for s.viewsDirty {
+		s.viewsDirty = false
+		mnp, mp := s.mergedLocked()
+		s.mu.Unlock()
+		s.h.OnViews(mnp, mp)
+		s.mu.Lock()
+	}
+	s.delivering = false
+	s.mu.Unlock()
+}
+
+// mergedLocked builds the federated views from the latest per-shard views.
+// Shard cluster sets are disjoint, so merging is plain map union. With a
+// single shard the shard's views are forwarded as-is, keeping a 1-shard
+// federation byte-identical to a single RMS.
+func (s *Session) mergedLocked() (np, p view.View) {
+	if len(s.shardViews) == 1 {
+		v := s.shardViews[0]
+		return v[0], v[1]
+	}
+	np, p = view.New(), view.New()
+	for _, sv := range s.shardViews {
+		for cid, f := range sv[0] {
+			np[cid] = f
+		}
+		for cid, f := range sv[1] {
+			p[cid] = f
+		}
+	}
+	return np, p
+}
+
+// OnStart translates the shard-local request ID back to its federated ID.
+func (h *shardHandler) OnStart(id request.ID, nodeIDs []int) {
+	s := h.sess
+	s.mu.Lock()
+	fid, ok := s.fromLocal[h.shard][id]
+	s.mu.Unlock()
+	if !ok {
+		// RequestObserved registers the mapping under the shard lock before
+		// any round can start the request; a miss is a bug, not a race.
+		panic(fmt.Sprintf("federation: shard %d started unknown request %d for app %d", h.shard, id, s.id))
+	}
+	s.h.OnStart(fid, nodeIDs)
+}
+
+// OnKill propagates a shard-side protocol-violation kill (§3.1.4) to the
+// whole federated session: the remaining shard sub-sessions are
+// disconnected and the application sees a single OnKill.
+func (h *shardHandler) OnKill(reason string) {
+	s := h.sess
+	s.mu.Lock()
+	if s.killed {
+		s.mu.Unlock()
+		return
+	}
+	s.killed = true
+	others := make([]*rms.Session, 0, len(s.subs)-1)
+	for i, sub := range s.subs {
+		if i != h.shard && sub != nil {
+			others = append(others, sub)
+		}
+	}
+	s.mu.Unlock()
+	for _, sub := range others {
+		sub.Disconnect()
+	}
+	s.h.OnKill(reason)
+}

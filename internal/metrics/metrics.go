@@ -132,26 +132,40 @@ func (r *Recorder) Current(appID int) int {
 }
 
 // TotalArea returns the node·seconds consumed by all applications up to t.
+// Applications are summed in ID order so the floating-point result is
+// deterministic (map iteration order is not).
 func (r *Recorder) TotalArea(t float64) float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := 0.0
-	for _, tr := range r.apps {
+	for _, id := range r.sortedIDsLocked() {
+		tr := r.apps[id]
 		tr.advance(t)
 		s += tr.area
 	}
 	return s
 }
 
-// TotalWaste returns the total recorded waste across applications.
+// TotalWaste returns the total recorded waste across applications, summed
+// in ID order for deterministic rounding.
 func (r *Recorder) TotalWaste() float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := 0.0
-	for _, tr := range r.apps {
-		s += tr.waste
+	for _, id := range r.sortedIDsLocked() {
+		s += r.apps[id].waste
 	}
 	return s
+}
+
+// sortedIDsLocked returns the tracked application IDs in ascending order.
+func (r *Recorder) sortedIDsLocked() []int {
+	ids := make([]int, 0, len(r.apps))
+	for id := range r.apps {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // UsedFraction returns the paper's "percent of used resources" (§5.3) as a
@@ -187,6 +201,108 @@ type AccountingReport struct {
 	UsedArea     float64 // node·s effectively allocated
 	PreAllocArea float64 // node·s reserved via pre-allocations
 	Waste        float64 // node·s wasted by kills
+}
+
+// Aggregate is a read-only registry over several recorders — one per
+// scheduler shard in a federated RMS (internal/federation), plus optionally
+// a client-side recorder for application-reported waste. Shards register
+// allocations under the same federated application ID, and a cluster lives
+// on exactly one shard, so summing across recorders reconstructs the
+// single-RMS quantities exactly.
+type Aggregate struct {
+	recs []*Recorder
+}
+
+// NewAggregate builds an aggregate over the given recorders; nil entries
+// are skipped.
+func NewAggregate(recs ...*Recorder) *Aggregate {
+	a := &Aggregate{}
+	for _, r := range recs {
+		if r != nil {
+			a.recs = append(a.recs, r)
+		}
+	}
+	return a
+}
+
+// Recorders returns the underlying recorders.
+func (a *Aggregate) Recorders() []*Recorder { return a.recs }
+
+// Area returns the node·seconds consumed by appID across all shards.
+func (a *Aggregate) Area(appID int, t float64) float64 {
+	s := 0.0
+	for _, r := range a.recs {
+		s += r.Area(appID, t)
+	}
+	return s
+}
+
+// PreAllocArea returns the node·seconds pre-allocated by appID across all
+// shards.
+func (a *Aggregate) PreAllocArea(appID int, t float64) float64 {
+	s := 0.0
+	for _, r := range a.recs {
+		s += r.PreAllocArea(appID, t)
+	}
+	return s
+}
+
+// Waste returns the node·seconds of wasted computation recorded for appID
+// across all shards.
+func (a *Aggregate) Waste(appID int) float64 {
+	s := 0.0
+	for _, r := range a.recs {
+		s += r.Waste(appID)
+	}
+	return s
+}
+
+// TotalArea returns the node·seconds consumed by all applications on all
+// shards up to t.
+func (a *Aggregate) TotalArea(t float64) float64 {
+	s := 0.0
+	for _, r := range a.recs {
+		s += r.TotalArea(t)
+	}
+	return s
+}
+
+// TotalWaste returns the total recorded waste across all shards.
+func (a *Aggregate) TotalWaste() float64 {
+	s := 0.0
+	for _, r := range a.recs {
+		s += r.TotalWaste()
+	}
+	return s
+}
+
+// UsedFraction returns the §5.3 "percent of used resources" over the whole
+// federation: capacity is the federated node count.
+func (a *Aggregate) UsedFraction(capacity int, horizon float64) float64 {
+	if capacity <= 0 || horizon <= 0 {
+		return 0
+	}
+	used := a.TotalArea(horizon) - a.TotalWaste()
+	if used < 0 {
+		used = 0
+	}
+	return used / (float64(capacity) * horizon)
+}
+
+// Apps returns the union of application IDs with recorded activity, sorted.
+func (a *Aggregate) Apps() []int {
+	seen := map[int]bool{}
+	for _, r := range a.recs {
+		for _, id := range r.Apps() {
+			seen[id] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Report produces per-application accounting up to time t.

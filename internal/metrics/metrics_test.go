@@ -144,3 +144,44 @@ func TestUnknownAppZeroes(t *testing.T) {
 		t.Error("unknown app should read as zero")
 	}
 }
+
+func TestAggregateSumsAcrossShards(t *testing.T) {
+	// Two shard recorders plus a client-side recorder for waste, the shape
+	// internal/federation and the experiment harness use.
+	shard0, shard1, client := NewRecorder(), NewRecorder(), NewRecorder()
+	shard0.SetAlloc(1, 0, 4) // app 1 holds 4 nodes on shard 0
+	shard1.SetAlloc(1, 0, 2) // ... and 2 nodes on shard 1
+	shard0.SetAlloc(2, 0, 3)
+	shard0.SetPreAlloc(1, 0, 5)
+	client.AddWaste(2, 7)
+
+	a := NewAggregate(client, shard0, nil, shard1)
+	if got := a.Area(1, 10); got != 60 {
+		t.Errorf("Area(1) = %v, want 60", got)
+	}
+	if got := a.Area(2, 10); got != 30 {
+		t.Errorf("Area(2) = %v, want 30", got)
+	}
+	if got := a.PreAllocArea(1, 10); got != 50 {
+		t.Errorf("PreAllocArea(1) = %v, want 50", got)
+	}
+	if got := a.Waste(2); got != 7 {
+		t.Errorf("Waste(2) = %v, want 7", got)
+	}
+	if got := a.TotalArea(10); got != 90 {
+		t.Errorf("TotalArea = %v, want 90", got)
+	}
+	if got := a.TotalWaste(); got != 7 {
+		t.Errorf("TotalWaste = %v, want 7", got)
+	}
+	// (90 - 7) / (10 nodes × 10 s)
+	if got := a.UsedFraction(10, 10); got != 0.83 {
+		t.Errorf("UsedFraction = %v, want 0.83", got)
+	}
+	if apps := a.Apps(); len(apps) != 2 || apps[0] != 1 || apps[1] != 2 {
+		t.Errorf("Apps = %v, want [1 2]", apps)
+	}
+	if n := len(a.Recorders()); n != 3 {
+		t.Errorf("Recorders = %d, want 3 (nil skipped)", n)
+	}
+}

@@ -1,0 +1,120 @@
+package rms
+
+import (
+	"testing"
+
+	"coormv2/internal/request"
+)
+
+// The hooks below exist for internal/federation: ConnectID registers a
+// session under an externally assigned application ID, RequestObserved
+// exposes the assigned request ID while the server lock is still held, and
+// ScheduleNow forces a synchronous scheduling round.
+
+func TestConnectIDAssignsAndCollides(t *testing.T) {
+	e, s := newTestServer(10)
+	app := &testApp{}
+	sess, err := s.ConnectID(app, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.AppID() != 7 {
+		t.Errorf("AppID = %d, want 7", sess.AppID())
+	}
+	if _, err := s.ConnectID(&testApp{}, 7); err == nil {
+		t.Error("duplicate ID should error")
+	}
+	if _, err := s.ConnectID(&testApp{}, 0); err == nil {
+		t.Error("non-positive ID should error")
+	}
+	// The auto-assigned sequence continues past the external ID.
+	next := s.Connect(&testApp{})
+	if next.AppID() != 8 {
+		t.Errorf("next auto ID = %d, want 8", next.AppID())
+	}
+	e.RunAll()
+}
+
+func TestConnectIDSessionIsFunctional(t *testing.T) {
+	e, s := newTestServer(10)
+	app := &testApp{}
+	sess, err := s.ConnectID(app, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.sess = sess
+	if _, err := sess.Request(RequestSpec{Cluster: c0, N: 2, Duration: 50, Type: request.NonPreempt}); err != nil {
+		t.Fatal(err)
+	}
+	e.RunAll()
+	if len(app.starts) != 1 {
+		t.Fatalf("starts = %v, want one", app.starts)
+	}
+}
+
+func TestRequestObservedSeesIDBeforeStart(t *testing.T) {
+	e, s := newTestServer(10)
+	app := &testApp{}
+	app.sess = s.Connect(app)
+
+	var observed request.ID
+	started := false
+	app.onStart = func(id request.ID, _ []int) {
+		started = true
+		if observed == 0 {
+			t.Error("OnStart fired before observe")
+		}
+		if id != observed {
+			t.Errorf("started %d, observed %d", id, observed)
+		}
+	}
+	id, err := app.sess.RequestObserved(
+		RequestSpec{Cluster: c0, N: 1, Duration: 10, Type: request.NonPreempt},
+		func(rid request.ID) { observed = rid },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != observed {
+		t.Errorf("Request returned %d, observe saw %d", id, observed)
+	}
+	e.RunAll()
+	if !started {
+		t.Fatal("request never started")
+	}
+}
+
+func TestRequestObservedNotCalledOnError(t *testing.T) {
+	e, s := newTestServer(10)
+	app := &testApp{}
+	app.sess = s.Connect(app)
+	e.RunAll()
+	called := false
+	_, err := app.sess.RequestObserved(
+		RequestSpec{Cluster: c0, N: 0, Duration: 1, Type: request.NonPreempt},
+		func(request.ID) { called = true },
+	)
+	if err == nil {
+		t.Fatal("invalid request should error")
+	}
+	if called {
+		t.Error("observe must not run on a failed request")
+	}
+}
+
+func TestScheduleNowRunsARound(t *testing.T) {
+	_, s := newTestServer(10)
+	app := &testApp{}
+	app.sess = s.Connect(app)
+	if _, err := app.sess.Request(RequestSpec{Cluster: c0, N: 4, Duration: 100, Type: request.NonPreempt}); err != nil {
+		t.Fatal(err)
+	}
+	// No engine run: drive the round synchronously.
+	s.ScheduleNow()
+	if len(app.starts) != 1 {
+		t.Fatalf("starts after ScheduleNow = %v, want one", app.starts)
+	}
+	if len(app.views) == 0 {
+		t.Error("no views pushed by ScheduleNow")
+	}
+}

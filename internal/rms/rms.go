@@ -151,14 +151,42 @@ func (sess *Session) AppID() int { return sess.app.ID }
 // push happens on the next scheduling round.
 func (s *Server) Connect(h AppHandler) *Session {
 	s.mu.Lock()
-	id := s.nextApp
-	s.nextApp++
+	sess := s.connectLocked(h, s.nextApp)
+	s.mu.Unlock()
+	s.flush()
+	return sess
+}
+
+// ConnectID registers an application under a caller-chosen ID. It is the
+// session-routing hook used by internal/federation, where one front-end
+// assigns globally unique application IDs and every shard registers the
+// session under the same ID (so per-shard metrics aggregate by ID). It
+// errors if the ID is non-positive or already connected.
+func (s *Server) ConnectID(h AppHandler, id int) (*Session, error) {
+	if id <= 0 {
+		return nil, fmt.Errorf("rms: application ID %d must be positive", id)
+	}
+	s.mu.Lock()
+	if _, taken := s.sessions[id]; taken {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("rms: application ID %d already connected", id)
+	}
+	sess := s.connectLocked(h, id)
+	s.mu.Unlock()
+	s.flush()
+	return sess, nil
+}
+
+// connectLocked registers a session under id and keeps the auto-assigned
+// sequence ahead of every externally chosen ID.
+func (s *Server) connectLocked(h AppHandler, id int) *Session {
+	if id >= s.nextApp {
+		s.nextApp = id + 1
+	}
 	app := s.sched.AddApp(id, s.clk.Now())
 	sess := &Session{s: s, app: app, h: h}
 	s.sessions[id] = sess
 	s.requestRunLocked()
-	s.mu.Unlock()
-	s.flush()
 	return sess
 }
 
@@ -172,6 +200,17 @@ func (s *Server) Now() float64 { return s.clk.Now() }
 // Request implements the request() operation (§3.1.3): it adds a new
 // request to the system and returns its ID.
 func (sess *Session) Request(spec RequestSpec) (request.ID, error) {
+	return sess.RequestObserved(spec, nil)
+}
+
+// RequestObserved is Request with a routing hook: on success, observe (when
+// non-nil) is invoked with the newly assigned request ID while the server
+// lock is still held. Scheduling rounds also run under that lock, so any
+// bookkeeping done inside observe — e.g. internal/federation registering
+// its federated→shard-local ID mapping — is guaranteed to be in place
+// before the request can start (OnStart) or be referenced by a later round.
+// observe must not call back into the server.
+func (sess *Session) RequestObserved(spec RequestSpec, observe func(request.ID)) (request.ID, error) {
 	s := sess.s
 	s.mu.Lock()
 	if sess.killed {
@@ -198,6 +237,9 @@ func (sess *Session) Request(spec RequestSpec) (request.ID, error) {
 		return 0, err
 	}
 	sess.app.SetFor(spec.Type).Add(r)
+	if observe != nil {
+		observe(id)
+	}
 	s.requestRunLocked()
 	s.mu.Unlock()
 	s.flush()
@@ -361,6 +403,17 @@ func (s *Server) requestRunLocked() {
 	}
 	s.schedPending = true
 	s.schedTimer = s.clk.AfterFunc(delay, "rms.schedule", s.runScheduled)
+}
+
+// ScheduleNow forces a synchronous scheduling round at the current time,
+// bypassing the re-scheduling interval. It exists for tests and external
+// drivers that step rounds directly instead of waiting on clock timers;
+// production code relies on the coalesced timer instead.
+func (s *Server) ScheduleNow() {
+	s.mu.Lock()
+	s.runLocked()
+	s.mu.Unlock()
+	s.flush()
 }
 
 // runScheduled is the timer callback for a scheduling round.

@@ -2,6 +2,10 @@
 // newline-delimited JSON protocol of internal/proto. Together with
 // clock.RealClock it is the "real-life prototype RMS" of §5: the simulator
 // and the daemon share every line of scheduling code.
+//
+// The transport is backend-agnostic: it bridges connections either to a
+// single rms.Server or to a federation.Federator, whose front-end routes
+// each session's requests to the scheduler shard owning the target cluster.
 package transport
 
 import (
@@ -13,16 +17,41 @@ import (
 	"net"
 	"sync"
 
+	"coormv2/internal/federation"
 	"coormv2/internal/proto"
 	"coormv2/internal/request"
 	"coormv2/internal/rms"
 	"coormv2/internal/view"
 )
 
-// Server accepts TCP connections and bridges them to rms.Server sessions.
+// Session is the server-side session surface the transport needs. Both
+// *rms.Session and *federation.Session satisfy it.
+type Session interface {
+	AppID() int
+	Request(spec rms.RequestSpec) (request.ID, error)
+	Done(id request.ID, released []int) error
+	Disconnect()
+}
+
+// Backend creates application sessions: a single RMS or a federation.
+type Backend interface {
+	Connect(h rms.AppHandler) Session
+}
+
+// rmsBackend adapts *rms.Server to Backend.
+type rmsBackend struct{ s *rms.Server }
+
+func (b rmsBackend) Connect(h rms.AppHandler) Session { return b.s.Connect(h) }
+
+// fedBackend adapts *federation.Federator to Backend.
+type fedBackend struct{ f *federation.Federator }
+
+func (b fedBackend) Connect(h rms.AppHandler) Session { return b.f.Connect(h) }
+
+// Server accepts TCP connections and bridges them to backend sessions.
 type Server struct {
-	rms *rms.Server
-	ln  net.Listener
+	backend Backend
+	ln      net.Listener
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -31,11 +60,32 @@ type Server struct {
 
 	// Logf logs transport events; defaults to log.Printf. Tests silence it.
 	Logf func(format string, args ...any)
+
+	// Workers, when positive, bounds how many connections are served
+	// concurrently: Serve dispatches accepted connections to a fixed pool
+	// of that many handler goroutines. A connection occupies its worker
+	// for the whole application session (RMS sessions are long-lived), so
+	// this is an admission limit on concurrent applications: connections
+	// beyond the bound wait unserved — without a Connected reply — until a
+	// running session ends, like jobs in a batch queue. Zero keeps the
+	// one-goroutine-per-connection behaviour (no admission limit). Set
+	// before calling Serve.
+	Workers int
 }
 
-// NewServer wraps an RMS server. Call Serve to start accepting.
-func NewServer(r *rms.Server) *Server {
-	return &Server{rms: r, conns: make(map[net.Conn]struct{}), Logf: log.Printf}
+// NewServer wraps a single RMS server. Call Serve to start accepting.
+func NewServer(r *rms.Server) *Server { return NewBackendServer(rmsBackend{r}) }
+
+// NewFederatedServer wraps a federation front-end: every accepted
+// connection becomes a federated session whose requests are routed to the
+// shard owning their target cluster.
+func NewFederatedServer(f *federation.Federator) *Server {
+	return NewBackendServer(fedBackend{f})
+}
+
+// NewBackendServer wraps any session backend.
+func NewBackendServer(b Backend) *Server {
+	return &Server{backend: b, conns: make(map[net.Conn]struct{}), Logf: log.Printf}
 }
 
 // Listen binds the given address ("host:port"; use ":0" for an ephemeral
@@ -50,10 +100,25 @@ func (s *Server) Listen(addr string) (string, error) {
 }
 
 // Serve accepts connections until Close is called. It returns nil on a
-// clean shutdown.
+// clean shutdown. With Workers > 0 a fixed pool of handler goroutines
+// serves the connections (see Workers for the admission semantics);
+// otherwise each connection gets its own goroutine.
 func (s *Server) Serve() error {
 	if s.ln == nil {
 		return errors.New("transport: Serve before Listen")
+	}
+	var queue chan net.Conn
+	if s.Workers > 0 {
+		queue = make(chan net.Conn)
+		for i := 0; i < s.Workers; i++ {
+			go func() {
+				for conn := range queue {
+					s.handle(conn)
+					s.wg.Done()
+				}
+			}()
+		}
+		defer close(queue)
 	}
 	for {
 		conn, err := s.ln.Accept()
@@ -67,9 +132,21 @@ func (s *Server) Serve() error {
 			return fmt.Errorf("transport: accept: %w", err)
 		}
 		s.mu.Lock()
+		if s.closed {
+			// Close ran between Accept and registration; it will never see
+			// this connection, so drop it here instead of leaking a handler
+			// Close cannot wait for.
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
+		if queue != nil {
+			queue <- conn
+			continue
+		}
 		go func() {
 			defer s.wg.Done()
 			s.handle(conn)
@@ -154,7 +231,7 @@ func (s *Server) handle(conn net.Conn) {
 		h.send(proto.Message{Type: proto.MsgError, Reason: "expected connect"})
 		return
 	}
-	sess := s.rms.Connect(h)
+	sess := s.backend.Connect(h)
 	h.send(proto.Message{Type: proto.MsgConnected, AppID: sess.AppID()})
 
 	defer sess.Disconnect()
