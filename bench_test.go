@@ -10,10 +10,13 @@ package coormv2
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"coormv2/internal/amr"
 	"coormv2/internal/apps"
+	"coormv2/internal/chaos"
 	"coormv2/internal/clock"
 	"coormv2/internal/core"
 	"coormv2/internal/experiments"
@@ -23,6 +26,7 @@ import (
 	"coormv2/internal/sim"
 	"coormv2/internal/stats"
 	"coormv2/internal/view"
+	"coormv2/internal/workload"
 )
 
 const (
@@ -260,6 +264,110 @@ func BenchmarkFederatedThroughput(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "requests/s")
+		})
+	}
+}
+
+// BenchmarkFederatedThroughputParallel measures real-clock, truly parallel
+// request throughput: shards run behind their own locks, and concurrent
+// sessions hammer request()/done() cycles on per-goroutine clusters. With
+// one shard every operation serializes on a single server lock; with N
+// shards operations on different clusters proceed independently — the
+// speed-up is the per-shard lock-independence win, which the deterministic
+// simulated benchmark above cannot observe. Skipped under -short and on
+// single-core runners (there is no parallelism to measure).
+func BenchmarkFederatedThroughputParallel(b *testing.B) {
+	if testing.Short() {
+		b.Skip("real-clock parallel benchmark; skipped under -short")
+	}
+	if runtime.GOMAXPROCS(0) < 2 {
+		b.Skip("needs >1 core to exercise per-shard lock independence")
+	}
+	const (
+		nClusters = 8
+		nodesPer  = 64
+	)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			clusters := make(map[view.ClusterID]int, nClusters)
+			cids := make([]view.ClusterID, nClusters)
+			for i := range cids {
+				cids[i] = view.ClusterID(fmt.Sprintf("c%d", i))
+				clusters[cids[i]] = nodesPer
+			}
+			fed := federation.New(federation.Config{
+				Clusters:        clusters,
+				Shards:          shards,
+				ReschedInterval: 0.001,
+				GracePeriod:     1e18,
+				Clock:           clock.NewRealClock(),
+			})
+			var next int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// One session per worker goroutine, pinned to one cluster so
+				// its operations stay on one shard.
+				cid := cids[int(atomic.AddInt64(&next, 1))%nClusters]
+				sess := fed.Connect(inertApp{})
+				for pb.Next() {
+					id, err := sess.Request(rms.RequestSpec{
+						Cluster: cid, N: 1, Duration: math.Inf(1), Type: request.Preempt,
+					})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if err := sess.Done(id, nil); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				sess.Disconnect()
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "requests/s")
+		})
+	}
+}
+
+// BenchmarkChaosReplay runs the chaos scenario per iteration: a 60-job
+// rigid trace over 3 shards with per-shard scavenging PSAs, under a seeded
+// crash/restart plan with the requeue recovery policy. The no-faults
+// variant runs the identical harness with an empty fault plan, isolating
+// the chaos machinery's overhead (event-stream fingerprinting plus
+// per-fault invariant checking) from the cost of the faults themselves.
+func BenchmarkChaosReplay(b *testing.B) {
+	jobs := workload.Synthetic(stats.NewRand(1), workload.SyntheticConfig{
+		Jobs: 60, MaxNodes: 8, MeanInterArr: 45, MeanRuntime: 600,
+		PowerOfTwoBias: 0.5,
+	})
+	for _, withFaults := range []bool{false, true} {
+		name := "no-faults"
+		if withFaults {
+			name = "faults"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.ChaosReplayConfig{
+					Jobs:          jobs,
+					Shards:        3,
+					NodesPerShard: 16,
+					PSATaskDur:    120,
+					Recovery:      federation.RequeueOnCrash,
+				}
+				if withFaults {
+					cfg.Chaos = chaos.Config{
+						Seed: 1, MTTF: 700, MeanRestartDelay: 90, Horizon: 2500,
+					}
+				}
+				res, err := experiments.RunChaosReplay(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed != len(jobs) {
+					b.Fatalf("completed %d of %d jobs", res.Completed, len(jobs))
+				}
+			}
 		})
 	}
 }

@@ -17,18 +17,23 @@ import (
 
 	"coormv2/internal/amr"
 	"coormv2/internal/apps"
+	"coormv2/internal/chaos"
 	"coormv2/internal/experiments"
+	"coormv2/internal/federation"
 	"coormv2/internal/stats"
 	"coormv2/internal/workload"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig9|fig10|fig11|ablation|accounting|replay|federated|all")
+		exp    = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig9|fig10|fig11|ablation|accounting|replay|federated|chaos|all")
 		seed   = flag.Int64("seed", 1, "base random seed")
 		full   = flag.Bool("full", false, "paper scale (1000 steps, 3.16 TiB) instead of the fast reduced scale")
 		steps  = flag.Int("steps", 0, "override profile length (0 = scale default)")
 		shards = flag.Int("shards", 4, "maximum shard count for the federated experiment (swept in powers of two)")
+
+		crashRate    = flag.Float64("crash-rate", 2, "chaos: expected crashes per shard per simulated hour")
+		restartDelay = flag.Float64("restart-delay", 180, "chaos: mean shard restart delay in simulated seconds")
 	)
 	flag.Parse()
 
@@ -87,6 +92,12 @@ func main() {
 	if all || *exp == "federated" {
 		matched = true
 		run("Federated — rigid trace + PSAs + evolving app across scheduler shards", func() error { return federated(*seed, *shards) })
+	}
+	if all || *exp == "chaos" {
+		matched = true
+		run("Chaos — federated replay under seeded shard crash/recovery", func() error {
+			return chaosExp(*seed, *shards, *crashRate, *restartDelay)
+		})
 	}
 	if !matched {
 		fmt.Fprintf(os.Stderr, "coorm-exp: unknown experiment %q\n", *exp)
@@ -340,6 +351,60 @@ func federated(seed int64, maxShards int) error {
 	fmt.Print(experiments.FormatTable(
 		[]string{"shards", "nodes", "jobs", "mean-wait-s", "max-wait-s", "makespan-s",
 			"rigid-util-%", "used-%", "events"}, out))
+	return nil
+}
+
+// chaosExp replays one rigid trace through a sharded federation while a
+// seeded fault plan crashes and restarts shards, once per recovery policy
+// and seed. Same seed ⇒ identical row, including the event-stream hash (the
+// determinism contract of internal/chaos).
+func chaosExp(seed int64, shards int, crashRate, restartDelay float64) error {
+	if shards < 2 {
+		shards = 2
+	}
+	jobs := workload.Synthetic(stats.NewRand(seed), workload.SyntheticConfig{
+		Jobs: 150, MaxNodes: 16, MeanInterArr: 60, MeanRuntime: 1200,
+		PowerOfTwoBias: 0.5,
+	})
+	st := workload.Summarize(jobs)
+	fmt.Printf("trace: %d jobs, %.3g node·s, max %d nodes/job; %d shards, %.3g crashes/shard/h\n",
+		st.Jobs, st.TotalArea, st.MaxNodes, shards, crashRate)
+	mttf := 0.0 // -crash-rate 0 disables fault injection (chaos.Plan is empty for MTTF<=0)
+	if crashRate > 0 {
+		mttf = 3600.0 / crashRate
+	}
+	var out [][]string
+	for _, pol := range []federation.RecoveryPolicy{federation.KillOnCrash, federation.RequeueOnCrash} {
+		for s := seed; s < seed+3; s++ {
+			res, err := experiments.RunChaosReplay(experiments.ChaosReplayConfig{
+				Jobs:          jobs,
+				Shards:        shards,
+				NodesPerShard: 64,
+				PSATaskDur:    300,
+				Recovery:      pol,
+				Chaos: chaos.Config{
+					Seed:             s,
+					MTTF:             mttf,
+					MeanRestartDelay: restartDelay,
+					Horizon:          3 * 3600,
+				},
+			})
+			if err != nil {
+				return err
+			}
+			out = append(out, []string{
+				pol.String(), strconv.FormatInt(s, 10),
+				strconv.Itoa(res.Crashes),
+				strconv.Itoa(res.Completed), strconv.Itoa(res.Killed), strconv.Itoa(res.Rejected),
+				strconv.Itoa(res.RequeuedRequests), strconv.Itoa(res.ReplayedRequests), strconv.Itoa(res.DroppedRequests),
+				f(res.MeanWait, 1), f(res.Makespan, 0), f(100*res.UsedFraction, 2),
+				fmt.Sprintf("%016x", res.EventHash),
+			})
+		}
+	}
+	fmt.Print(experiments.FormatTable(
+		[]string{"policy", "seed", "crashes", "done", "killed", "rejected",
+			"requeued", "replayed", "dropped", "mean-wait-s", "makespan-s", "used-%", "event-hash"}, out))
 	return nil
 }
 

@@ -401,6 +401,25 @@ func TestPSAFillingWhenOtherDeclines(t *testing.T) {
 	}
 }
 
+// TestRigidRestartMovesCompletion is the crash-requeue regression: when a
+// rigid job's request is re-started after a shard crash (same request ID,
+// fresh allocation), the completion moves to the re-run's end — the first
+// run's end timer must not settle the job early.
+func TestRigidRestartMovesCompletion(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewRigid(clock.SimClock{E: e}, "c0", 2, 100)
+	r.reqID = 7
+	ends := 0
+	r.OnEnd = func() { ends++ }
+	r.OnStart(7, []int{0, 1})
+	e.Run(40) // crash + requeue happen here; the re-run starts at t=40
+	r.OnStart(7, []int{2, 3})
+	e.RunAll()
+	if ends != 1 || r.EndTime != 140 {
+		t.Fatalf("ends=%d EndTime=%v, want one completion at t=140", ends, r.EndTime)
+	}
+}
+
 // The application drivers are transport-agnostic: the TCP client satisfies
 // the same Session interface as the in-process RMS session, so every
 // behaviour in this package can run against a real coormd daemon.

@@ -19,6 +19,7 @@ type Rigid struct {
 
 	reqID     request.ID
 	submitted bool
+	endTimer  clock.Timer
 
 	// Recorded lifecycle, for tests and workload replay statistics.
 	StartTime float64
@@ -59,10 +60,21 @@ func (r *Rigid) OnStart(id request.ID, nodeIDs []int) {
 	if id != r.reqID {
 		return
 	}
+	// A second start is a crash-requeued re-run: the work restarts from
+	// scratch, so the completion moves with it — the first run's end timer
+	// must not settle the job while the re-run is still executing. (If the
+	// re-run starts only after the first run's scheduled end, the stale
+	// timer has already fired: the app has no crash signal to cancel it
+	// earlier — see ROADMAP "crash-aware applications". Crash-accurate
+	// consumers settle on the server-side OnRequestFinished event instead,
+	// as the chaos harness does.)
+	if r.endTimer != nil {
+		r.endTimer.Stop()
+	}
 	r.Started = true
 	r.StartTime = r.now()
 	r.NodeIDs = nodeIDs
-	r.clk.AfterFunc(r.Duration, "rigid.end", func() {
+	r.endTimer = r.clk.AfterFunc(r.Duration, "rigid.end", func() {
 		r.Ended = true
 		r.EndTime = r.now()
 		if r.OnEnd != nil {

@@ -1,0 +1,151 @@
+// Package chaos is the deterministic fault-injection harness for the
+// federated RMS (internal/federation): it derives a crash/restart schedule
+// for every scheduler shard from a seeded PRNG, arms the faults as
+// discrete-event simulator events, and records a trace of what each fault
+// did. Because the schedule is precomputed and the simulator is a
+// deterministic event loop, two runs with the same seed produce
+// byte-identical traces — the property the chaos tests pin — and the
+// federation's invariant checker can be run after every fault, not just at
+// the end.
+//
+// The harness follows the simulation-first consistency-testing stance: the
+// recovery path is exercised systematically across seeds and policies
+// instead of being left to rare production incidents.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"coormv2/internal/federation"
+	"coormv2/internal/sim"
+	"coormv2/internal/stats"
+)
+
+// Config parametrizes a fault plan. All times are virtual seconds.
+type Config struct {
+	// Seed drives every random draw; same seed ⇒ same plan.
+	Seed int64
+	// MTTF is the mean time between a shard coming up (or starting) and its
+	// next crash, drawn from an exponential distribution per shard.
+	MTTF float64
+	// MeanRestartDelay is the mean crash→restart delay (exponential).
+	MeanRestartDelay float64
+	// Horizon bounds the plan: no crash is scheduled at or after it.
+	Horizon float64
+	// MaxFaultsPerShard caps the crashes of one shard; 0 means unlimited
+	// (bounded by the horizon alone).
+	MaxFaultsPerShard int
+}
+
+// Fault is one crash/restart cycle of one shard.
+type Fault struct {
+	Shard     int
+	CrashAt   float64
+	RestartAt float64
+}
+
+// String renders the fault deterministically for traces.
+func (f Fault) String() string {
+	return fmt.Sprintf("fault shard=%d crash@%g restart@%g", f.Shard, f.CrashAt, f.RestartAt)
+}
+
+// Plan derives the full fault schedule for a federation of the given shard
+// count. Per shard, crash times follow a renewal process: exponential
+// time-to-fail from the last restart, then an exponential restart delay.
+// Faults never overlap on one shard by construction. The result is sorted
+// by (CrashAt, Shard); ties cannot produce nondeterminism because the order
+// is total.
+func Plan(cfg Config, shards int) []Fault {
+	if shards <= 0 || cfg.MTTF <= 0 || cfg.Horizon <= 0 {
+		return nil
+	}
+	rng := stats.NewRand(cfg.Seed)
+	var plan []Fault
+	// Draw shard by shard so adding shards never perturbs the earlier
+	// shards' schedules relative to a plan with the same seed.
+	for shard := 0; shard < shards; shard++ {
+		t := 0.0
+		for n := 0; cfg.MaxFaultsPerShard == 0 || n < cfg.MaxFaultsPerShard; n++ {
+			t += rng.ExpFloat64() * cfg.MTTF
+			if t >= cfg.Horizon {
+				break
+			}
+			delay := rng.ExpFloat64() * cfg.MeanRestartDelay
+			plan = append(plan, Fault{Shard: shard, CrashAt: t, RestartAt: t + delay})
+			t += delay
+		}
+	}
+	sort.Slice(plan, func(i, j int) bool {
+		if plan[i].CrashAt != plan[j].CrashAt {
+			return plan[i].CrashAt < plan[j].CrashAt
+		}
+		return plan[i].Shard < plan[j].Shard
+	})
+	return plan
+}
+
+// Injector arms a fault plan on a simulator engine and records what every
+// fault did to the federation.
+type Injector struct {
+	e   *sim.Engine
+	fed *federation.Federator
+	pln []Fault
+
+	// CheckAfterFault, when set, runs the federation invariant checker
+	// after every crash and every restart; the first failure is retained.
+	CheckAfterFault bool
+
+	trace    []string
+	crashes  int
+	restarts int
+	invErr   error
+}
+
+// NewInjector binds a plan to an engine and federation. Call Arm before
+// running the simulation.
+func NewInjector(e *sim.Engine, fed *federation.Federator, plan []Fault) *Injector {
+	return &Injector{e: e, fed: fed, pln: plan}
+}
+
+// Arm schedules every fault of the plan as simulator events.
+func (in *Injector) Arm() {
+	for _, f := range in.pln {
+		f := f
+		in.e.At(f.CrashAt, "chaos.crash", func() {
+			rep := in.fed.CrashShard(f.Shard)
+			in.crashes++
+			in.record(fmt.Sprintf("t=%.6f %s", in.e.Now(), rep))
+		})
+		in.e.At(f.RestartAt, "chaos.restart", func() {
+			rep := in.fed.RestartShard(f.Shard)
+			in.restarts++
+			in.record(fmt.Sprintf("t=%.6f %s", in.e.Now(), rep))
+		})
+	}
+}
+
+// record appends a trace line and, when enabled, checks invariants.
+func (in *Injector) record(line string) {
+	in.trace = append(in.trace, line)
+	if in.CheckAfterFault && in.invErr == nil {
+		if err := in.fed.CheckInvariants(); err != nil {
+			in.invErr = fmt.Errorf("after %q: %w", line, err)
+		}
+	}
+}
+
+// Trace returns the fault trace so far: one deterministic line per executed
+// crash/restart, in execution order.
+func (in *Injector) Trace() []string { return in.trace }
+
+// Crashes returns the number of executed crash events.
+func (in *Injector) Crashes() int { return in.crashes }
+
+// Restarts returns the number of executed restart events.
+func (in *Injector) Restarts() int { return in.restarts }
+
+// InvariantErr returns the first invariant violation observed after a fault
+// (nil if none, or if CheckAfterFault was off).
+func (in *Injector) InvariantErr() error { return in.invErr }
+

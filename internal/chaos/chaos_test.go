@@ -1,0 +1,139 @@
+package chaos
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"coormv2/internal/clock"
+	"coormv2/internal/federation"
+	"coormv2/internal/request"
+	"coormv2/internal/rms"
+	"coormv2/internal/sim"
+	"coormv2/internal/view"
+)
+
+func TestChaosPlanDeterministicAndWellFormed(t *testing.T) {
+	cfg := Config{Seed: 7, MTTF: 500, MeanRestartDelay: 60, Horizon: 5000}
+	a := Plan(cfg, 4)
+	b := Plan(cfg, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must produce the same plan")
+	}
+	if len(a) == 0 {
+		t.Fatal("expected some faults with MTTF << horizon")
+	}
+	// Different seed ⇒ different plan.
+	cfg2 := cfg
+	cfg2.Seed = 8
+	if reflect.DeepEqual(a, Plan(cfg2, 4)) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	// Sorted by crash time; per-shard cycles never overlap; horizon holds.
+	last := map[int]float64{}
+	for i, f := range a {
+		if i > 0 && a[i-1].CrashAt > f.CrashAt {
+			t.Fatalf("plan not sorted at %d: %v then %v", i, a[i-1], f)
+		}
+		if f.CrashAt >= cfg.Horizon {
+			t.Fatalf("fault beyond horizon: %v", f)
+		}
+		if f.RestartAt <= f.CrashAt {
+			t.Fatalf("restart not after crash: %v", f)
+		}
+		if f.CrashAt < last[f.Shard] {
+			t.Fatalf("shard %d faults overlap: crash %g before previous restart %g", f.Shard, f.CrashAt, last[f.Shard])
+		}
+		last[f.Shard] = f.RestartAt
+	}
+}
+
+func TestChaosPlanPrefixStableAcrossShardCounts(t *testing.T) {
+	cfg := Config{Seed: 3, MTTF: 400, MeanRestartDelay: 50, Horizon: 3000}
+	small := Plan(cfg, 2)
+	big := Plan(cfg, 4)
+	onlySmallShards := func(fs []Fault) []Fault {
+		var out []Fault
+		for _, f := range fs {
+			if f.Shard < 2 {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(small, onlySmallShards(big)) {
+		t.Fatal("adding shards perturbed the existing shards' fault schedules")
+	}
+}
+
+func TestChaosPlanCapsAndDegenerateConfigs(t *testing.T) {
+	cfg := Config{Seed: 1, MTTF: 10, MeanRestartDelay: 1, Horizon: 10000, MaxFaultsPerShard: 3}
+	perShard := map[int]int{}
+	for _, f := range Plan(cfg, 2) {
+		perShard[f.Shard]++
+	}
+	for shard, n := range perShard {
+		if n > 3 {
+			t.Errorf("shard %d has %d faults, cap is 3", shard, n)
+		}
+	}
+	if Plan(Config{Seed: 1, MTTF: 0, Horizon: 100}, 2) != nil {
+		t.Error("zero MTTF should disable the plan")
+	}
+	if Plan(Config{Seed: 1, MTTF: 10, Horizon: 0}, 2) != nil {
+		t.Error("zero horizon should disable the plan")
+	}
+	if Plan(Config{Seed: 1, MTTF: 10, Horizon: 100}, 0) != nil {
+		t.Error("zero shards should disable the plan")
+	}
+}
+
+func TestChaosInjectorTraceAndInvariants(t *testing.T) {
+	e := sim.NewEngine()
+	fed := federation.New(federation.Config{
+		Clusters:        map[view.ClusterID]int{"a": 4, "b": 4},
+		Shards:          2,
+		ReschedInterval: 1,
+		Clock:           clock.SimClock{E: e},
+		Recovery:        federation.KillOnCrash,
+	})
+	app := &inertHandler{}
+	sess := fed.Connect(app)
+	if _, err := sess.Request(rms.RequestSpec{Cluster: "a", N: 2, Duration: math.Inf(1), Type: request.NonPreempt}); err != nil {
+		t.Fatal(err)
+	}
+	shard, _ := fed.Owner("a")
+	in := NewInjector(e, fed, []Fault{{Shard: shard, CrashAt: 5, RestartAt: 9}})
+	in.CheckAfterFault = true
+	in.Arm()
+	e.Run(20)
+	if in.Crashes() != 1 || in.Restarts() != 1 {
+		t.Fatalf("crashes=%d restarts=%d, want 1/1", in.Crashes(), in.Restarts())
+	}
+	if err := in.InvariantErr(); err != nil {
+		t.Fatalf("invariant violated: %v", err)
+	}
+	tr := in.Trace()
+	if len(tr) != 2 {
+		t.Fatalf("trace = %v, want 2 lines", tr)
+	}
+	if !strings.Contains(tr[0], "crash shard=0") || !strings.Contains(tr[0], "killed=[1]") {
+		t.Errorf("crash line = %q", tr[0])
+	}
+	if !strings.Contains(tr[1], "restart shard=0") {
+		t.Errorf("restart line = %q", tr[1])
+	}
+	if !app.killed {
+		t.Error("session with live state on the crashed shard should be killed")
+	}
+	if err := fed.CheckInvariants(); err != nil {
+		t.Fatalf("post-run invariants: %v", err)
+	}
+}
+
+type inertHandler struct{ killed bool }
+
+func (h *inertHandler) OnViews(_, _ view.View)    {}
+func (h *inertHandler) OnStart(request.ID, []int) {}
+func (h *inertHandler) OnKill(string)             { h.killed = true }

@@ -58,14 +58,14 @@ func TestPropScheduleNeverOversubscribes(t *testing.T) {
 				}
 			case 2: // finish chains that ended
 				if a.pa != nil && a.pa.Ended(now) {
-					a.st.PA.GC(now)
-					a.st.NP.GC(now)
+					a.st.PA.GC(now, nil)
+					a.st.NP.GC(now, nil)
 					a.pa, a.np = nil, nil
 				}
 			case 3:
 				if a.p != nil && rng.Intn(2) == 0 {
 					a.p.Finished = true
-					a.st.P.GC(now)
+					a.st.P.GC(now, nil)
 					a.p = nil
 				}
 			}

@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"coormv2/internal/apps"
+	"coormv2/internal/chaos"
+	"coormv2/internal/clock"
+	"coormv2/internal/federation"
+	"coormv2/internal/metrics"
+	"coormv2/internal/request"
+	"coormv2/internal/sim"
+	"coormv2/internal/view"
+	"coormv2/internal/workload"
+)
+
+// ChaosReplayConfig parametrizes the chaos scenario: the federated rigid
+// trace + scavenging PSAs of RunFederatedReplay, with a seeded shard
+// crash/restart schedule injected on top and a recovery policy deciding the
+// fate of the affected sessions.
+type ChaosReplayConfig struct {
+	// Jobs is the rigid trace, assigned to shard clusters round-robin.
+	Jobs []workload.Job
+	// Shards is the scheduler shard count (one cluster per shard).
+	Shards int
+	// NodesPerShard sizes each shard's cluster.
+	NodesPerShard int
+	// PSATaskDur, when positive, adds one scavenging PSA per cluster.
+	PSATaskDur float64
+	// Recovery selects what happens to sessions whose shard crashes.
+	Recovery federation.RecoveryPolicy
+	// Chaos seeds and shapes the fault plan.
+	Chaos chaos.Config
+	// MaxSimTime aborts runaway replays (default 10^9 s).
+	MaxSimTime float64
+}
+
+// ChaosReplayResult aggregates one chaos replay. Every field is a pure
+// function of the configuration: the determinism test pins two same-seed
+// runs to identical results, including the fault trace and the event-stream
+// fingerprint.
+type ChaosReplayResult struct {
+	Shards int
+	Nodes  int
+	Policy federation.RecoveryPolicy
+
+	// Completed/Killed/Rejected partition the rigid jobs: finished normally,
+	// killed with their crashed shard (KillOnCrash), or refused at
+	// submission because the target shard was down (KillOnCrash).
+	Completed int
+	Killed    int
+	Rejected  int
+
+	Crashes  int
+	Restarts int
+
+	// Fault-recovery counters over all applications (PSAs included).
+	KilledSessions   int
+	RequeuedRequests int
+	ReplayedRequests int
+	DroppedRequests  int
+
+	MeanWait float64 // completed rigid jobs only
+	MaxWait  float64
+	Makespan float64
+
+	TotalArea    float64
+	TotalWaste   float64
+	UsedFraction float64
+
+	Events int64
+	// EventHash is an FNV-1a fingerprint of the full simulator event stream
+	// (time bits + event name, in firing order): two runs are byte-identical
+	// iff their hashes match.
+	EventHash uint64
+	// Trace is the injector's fault trace: one line per executed
+	// crash/restart, in execution order.
+	Trace []string
+}
+
+// chaosRigid wraps a rigid job so that it settles exactly once — completed,
+// killed, or rejected — no matter how many end timers or notifications the
+// crash/replay machinery produces.
+type chaosRigid struct {
+	*apps.Rigid
+	settled bool
+	settle  func(outcome string)
+}
+
+func (w *chaosRigid) settleOnce(outcome string) {
+	if w.settled {
+		return
+	}
+	w.settled = true
+	w.settle(outcome)
+}
+
+func (w *chaosRigid) OnKill(reason string) {
+	w.Rigid.OnKill(reason)
+	w.settleOnce("killed")
+}
+
+// OnRequestFinished settles the job as completed on the server-authoritative
+// finish event (forwarded through the federation under the federated ID).
+// Unlike the application's own end timer, it is delivered exactly when the
+// allocation actually finished — including after a crash-requeued re-run,
+// whose first-run timer would otherwise settle the job while the re-run is
+// still queued or executing.
+func (w *chaosRigid) OnRequestFinished(request.ID) {
+	w.settleOnce("completed")
+}
+
+// OnRequestsReaped settles a job whose request was dropped: a reap without a
+// preceding finish means the work never completed (replay rejected, or the
+// queue entry withdrawn), so the job counts as killed. After a normal finish
+// this is a no-op — the job already settled as completed.
+func (w *chaosRigid) OnRequestsReaped([]request.ID) {
+	w.settleOnce("killed")
+}
+
+// RunChaosReplay replays a rigid-job stream through a federated RMS while a
+// deterministic, seeded fault plan crashes and restarts shards. The
+// federation invariant checker runs after every fault and once after the
+// run; any violation is returned as an error.
+func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
+	if len(cfg.Jobs) == 0 {
+		return nil, fmt.Errorf("experiments: empty job stream")
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.NodesPerShard <= 0 {
+		return nil, fmt.Errorf("experiments: need a positive per-shard node count")
+	}
+	if cfg.MaxSimTime <= 0 {
+		cfg.MaxSimTime = 1e9
+	}
+
+	e := sim.NewEngine()
+	// Fingerprint the full event stream: time bits plus event name per
+	// fired event, FNV-1a. Hand-rolled rather than hash/fnv: Write would
+	// need a []byte(name) conversion — one allocation per fired event, on a
+	// stream of ~10^6 events per run — where this loop allocates nothing.
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	hash := uint64(fnvOffset)
+	e.SetObserver(func(at float64, name string) {
+		bits := math.Float64bits(at)
+		for i := 0; i < 8; i++ {
+			hash ^= uint64(byte(bits >> (8 * i)))
+			hash *= fnvPrime
+		}
+		for i := 0; i < len(name); i++ {
+			hash ^= uint64(name[i])
+			hash *= fnvPrime
+		}
+	})
+
+	clk := clock.SimClock{E: e}
+	clusters := make(map[view.ClusterID]int, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		clusters[federatedCluster(i)] = cfg.NodesPerShard
+	}
+	clientRec := metrics.NewRecorder()
+	fedRec := metrics.NewRecorder()
+	recs := []*metrics.Recorder{clientRec, fedRec}
+	fed := federation.New(federation.Config{
+		Clusters:        clusters,
+		Shards:          cfg.Shards,
+		ReschedInterval: 1,
+		Clock:           clk,
+		Recovery:        cfg.Recovery,
+		Metrics: func(int) *metrics.Recorder {
+			r := metrics.NewRecorder()
+			recs = append(recs, r)
+			return r
+		},
+		FederationMetrics: fedRec,
+	})
+	if fed.NumShards() != cfg.Shards {
+		return nil, fmt.Errorf("experiments: federation clamped to %d shards", fed.NumShards())
+	}
+	agg := metrics.NewAggregate(recs...)
+
+	inj := chaos.NewInjector(e, fed, chaos.Plan(cfg.Chaos, cfg.Shards))
+	inj.CheckAfterFault = true
+	inj.Arm()
+
+	if cfg.PSATaskDur > 0 {
+		for i := 0; i < cfg.Shards; i++ {
+			p := apps.NewPSA(clk, apps.PSAConfig{
+				Cluster: federatedCluster(i), TaskDuration: cfg.PSATaskDur, Metrics: clientRec,
+			})
+			sess := fed.Connect(p)
+			p.SetMetricsID(sess.AppID())
+			p.Attach(sess)
+		}
+	}
+
+	res := &ChaosReplayResult{
+		Shards: cfg.Shards,
+		Nodes:  cfg.Shards * cfg.NodesPerShard,
+		Policy: cfg.Recovery,
+	}
+	remaining := len(cfg.Jobs)
+	var waitSum float64
+	settleJob := func(w *chaosRigid, submit float64) func(string) {
+		return func(outcome string) {
+			switch outcome {
+			case "completed":
+				res.Completed++
+				wait := w.StartTime - submit
+				if wait < 0 {
+					wait = 0
+				}
+				waitSum += wait
+				if wait > res.MaxWait {
+					res.MaxWait = wait
+				}
+			case "killed":
+				res.Killed++
+			case "rejected":
+				res.Rejected++
+			}
+			remaining--
+			if remaining == 0 {
+				e.Stop()
+			}
+		}
+	}
+
+	for i, j := range cfg.Jobs {
+		i, j := i, j
+		shard := i % cfg.Shards
+		n := j.Nodes
+		if n > cfg.NodesPerShard {
+			n = cfg.NodesPerShard
+		}
+		e.At(j.Submit, "chaos.submit", func() {
+			r := apps.NewRigid(clk, federatedCluster(shard), n, j.Runtime)
+			w := &chaosRigid{Rigid: r}
+			w.settle = settleJob(w, j.Submit)
+			// Completion settles on the forwarded OnRequestFinished event,
+			// not the app's own end timer — the server-side finish is the
+			// only signal that survives crash/requeue re-runs correctly.
+			sess := fed.Connect(w)
+			r.Attach(sess)
+			if err := r.Submit(); err != nil {
+				// KillOnCrash: the target shard is down; the submission is
+				// refused rather than queued.
+				sess.Disconnect()
+				w.settleOnce("rejected")
+			}
+		})
+	}
+
+	for remaining > 0 {
+		before := e.Processed()
+		e.Run(e.Now() + 3600)
+		if remaining == 0 {
+			break
+		}
+		if e.Now() > cfg.MaxSimTime {
+			return nil, fmt.Errorf("experiments: chaos replay exceeded %g s (remaining=%d)", cfg.MaxSimTime, remaining)
+		}
+		// An event-free window is just an idle gap while events are still
+		// queued (sparse traces can have inter-arrival gaps over an hour); a
+		// deadlock is jobs remaining with nothing queued at all. Run drains
+		// cancelled events even past the horizon, so Pending()==0 is exact.
+		if e.Processed() == before && e.Pending() == 0 {
+			return nil, fmt.Errorf("experiments: chaos replay stalled at t=%g (remaining=%d)", e.Now(), remaining)
+		}
+	}
+
+	if err := inj.InvariantErr(); err != nil {
+		return nil, fmt.Errorf("experiments: chaos invariant violated %w", err)
+	}
+	if err := fed.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("experiments: post-run invariant violated: %w", err)
+	}
+
+	res.Crashes = inj.Crashes()
+	res.Restarts = inj.Restarts()
+	res.Trace = inj.Trace()
+	res.KilledSessions = agg.TotalCount(metrics.KilledSessions)
+	res.RequeuedRequests = agg.TotalCount(metrics.RequeuedRequests)
+	res.ReplayedRequests = agg.TotalCount(metrics.ReplayedRequests)
+	res.DroppedRequests = agg.TotalCount(metrics.DroppedRequests)
+	res.Makespan = e.Now()
+	res.Events = e.Processed()
+	res.EventHash = hash
+	if res.Completed > 0 {
+		res.MeanWait = waitSum / float64(res.Completed)
+	}
+	res.TotalArea = agg.TotalArea(res.Makespan)
+	res.TotalWaste = agg.TotalWaste()
+	res.UsedFraction = agg.UsedFraction(res.Nodes, res.Makespan)
+	return res, nil
+}

@@ -21,6 +21,15 @@
 // federated↔shard-local translation table, registered atomically with the
 // shard's own bookkeeping via rms.Session.RequestObserved.
 //
+// Shard lifecycle: CrashShard/RestartShard give every shard a crash/restart
+// cycle (driven deterministically by internal/chaos inside the simulator). A
+// crash stops the shard's rms.Server — its scheduler-side state is gone —
+// and the Federator applies the configured RecoveryPolicy to the sessions
+// that lost state: KillOnCrash terminates them per §3.1.4, RequeueOnCrash
+// parks their requests on replay queues and re-submits them when the shard
+// rejoins empty. Survivors keep running against views re-merged without the
+// dead shard.
+//
 // Known limitation: a request may only relate (NEXT/COALLOC) to a request
 // on the same shard, i.e. targeting a cluster owned by the same shard.
 // Cross-shard placement is a ROADMAP open item.
@@ -38,6 +47,37 @@ import (
 	"coormv2/internal/rms"
 	"coormv2/internal/view"
 )
+
+// RecoveryPolicy selects what the Federator does with the sessions affected
+// by a shard crash (internal/chaos drives the crashes).
+type RecoveryPolicy uint8
+
+const (
+	// KillOnCrash applies the paper's §3.1.4 semantics: an application whose
+	// scheduler-side state is lost is killed — every session with a live
+	// request on the crashed shard receives OnKill and is torn down on the
+	// surviving shards. Sessions with no live state there survive, and new
+	// requests targeting the dead shard fail until it restarts.
+	KillOnCrash RecoveryPolicy = iota
+	// RequeueOnCrash keeps the affected sessions alive: their live requests
+	// on the crashed shard move to a per-session replay queue and are
+	// re-submitted — under the same federated IDs — when the shard rejoins
+	// with empty state. Requests submitted while the shard is down are
+	// queued the same way; done() on a queued request drops it.
+	RequeueOnCrash
+)
+
+// String names the policy for reports and traces.
+func (p RecoveryPolicy) String() string {
+	switch p {
+	case KillOnCrash:
+		return "kill"
+	case RequeueOnCrash:
+		return "requeue"
+	default:
+		return fmt.Sprintf("RecoveryPolicy(%d)", uint8(p))
+	}
+}
 
 // Config parametrizes a Federator. The scheduling knobs (ReschedInterval,
 // Policy, GracePeriod, Clip) are applied uniformly to every shard.
@@ -64,17 +104,29 @@ type Config struct {
 	// reports per-shard allocation state keyed by the federated
 	// application ID, and metrics.Aggregate sums them back together.
 	Metrics func(shard int) *metrics.Recorder
+	// Recovery selects the shard-crash recovery policy (default:
+	// KillOnCrash, the paper's §3.1.4 semantics).
+	Recovery RecoveryPolicy
+	// FederationMetrics, when non-nil, receives the fault-recovery counters
+	// (killed sessions, requeued/replayed/dropped requests) keyed by
+	// federated application ID. It must be a recorder of its own, not one of
+	// the per-shard recorders.
+	FederationMetrics *metrics.Recorder
 }
 
 // Federator routes application sessions across a set of rms.Server shards.
 type Federator struct {
-	shards []*rms.Server
-	owner  map[view.ClusterID]int // cluster → shard index
-	clk    clock.Clock
+	shards   []*rms.Server
+	owner    map[view.ClusterID]int // cluster → shard index
+	clk      clock.Clock
+	recovery RecoveryPolicy
+	fedRec   *metrics.Recorder
 
-	mu      sync.Mutex
-	nextApp int
-	nextReq request.ID
+	mu       sync.Mutex
+	nextApp  int
+	nextReq  request.ID
+	down     []bool           // per-shard crashed flag
+	sessions map[int]*Session // live federated sessions by app ID
 }
 
 // Partition splits a cluster set into at most n per-shard cluster sets,
@@ -117,11 +169,15 @@ func New(cfg Config) *Federator {
 	}
 	parts := Partition(cfg.Clusters, cfg.Shards)
 	f := &Federator{
-		shards:  make([]*rms.Server, len(parts)),
-		owner:   make(map[view.ClusterID]int, len(cfg.Clusters)),
-		clk:     cfg.Clock,
-		nextApp: 1,
-		nextReq: 1,
+		shards:   make([]*rms.Server, len(parts)),
+		owner:    make(map[view.ClusterID]int, len(cfg.Clusters)),
+		clk:      cfg.Clock,
+		recovery: cfg.Recovery,
+		fedRec:   cfg.FederationMetrics,
+		down:     make([]bool, len(parts)),
+		sessions: make(map[int]*Session),
+		nextApp:  1,
+		nextReq:  1,
 	}
 	for i, part := range parts {
 		var rec *metrics.Recorder
@@ -177,42 +233,261 @@ func (f *Federator) Owner(cid view.ClusterID) (int, bool) {
 // Now returns the federation's current time.
 func (f *Federator) Now() float64 { return f.clk.Now() }
 
-// Connect registers an application with every shard under one federated
-// application ID and returns the federated session. Connecting to all
-// shards eagerly gives the application the same full-cluster-set views a
-// single RMS would push, merged by the session's handler fan-in.
+// Connect registers an application with every running shard under one
+// federated application ID and returns the federated session. Connecting to
+// all shards eagerly gives the application the same full-cluster-set views a
+// single RMS would push, merged by the session's handler fan-in. Crashed
+// shards are skipped; the session is re-admitted to them when they restart.
 func (f *Federator) Connect(h rms.AppHandler) *Session {
-	f.mu.Lock()
-	id := f.nextApp
-	f.nextApp++
-	f.mu.Unlock()
-
 	sess := &Session{
 		f:          f,
 		h:          h,
-		id:         id,
 		subs:       make([]*rms.Session, len(f.shards)),
+		shardDown:  make([]bool, len(f.shards)),
 		shardViews: make([][2]view.View, len(f.shards)),
-		toLocal:    make(map[request.ID]shardReq),
+		toLocal:    make(map[request.ID]*fedReq),
 		fromLocal:  make([]map[request.ID]request.ID, len(f.shards)),
+		queues:     make([][]request.ID, len(f.shards)),
 	}
 	for i := range sess.fromLocal {
 		sess.fromLocal[i] = make(map[request.ID]request.ID)
 	}
-	// Connect outside the federator lock: ConnectID flushes notifications,
+	// Allocate the ID, register the session, and snapshot the shard states
+	// in one critical section: a crash or restart ordered before it is
+	// reflected in the down snapshot; one ordered after it sees the session
+	// and sweeps it itself (admitShard makes the two admission paths
+	// idempotent, so a racing restart cannot double-admit or be missed).
+	f.mu.Lock()
+	sess.id = f.nextApp
+	f.nextApp++
+	f.sessions[sess.id] = sess
+	down := append([]bool(nil), f.down...)
+	copy(sess.shardDown, down)
+	f.mu.Unlock()
+	// Admit outside the federator lock: ConnectID flushes notifications,
 	// which may synchronously re-enter the session (and, through an
 	// application handler, the federator).
-	for i, sh := range f.shards {
-		sub, err := sh.ConnectID(&shardHandler{sess: sess, shard: i}, id)
-		if err != nil {
-			// The federator owns the ID space; a collision is a bug.
-			panic(fmt.Sprintf("federation: shard %d rejected app %d: %v", i, id, err))
+	for i := range f.shards {
+		if down[i] {
+			continue
 		}
-		sess.mu.Lock()
-		sess.subs[i] = sub
-		sess.mu.Unlock()
+		sess.admitShard(i)
 	}
 	return sess
+}
+
+// removeSession forgets a disconnected or killed session.
+func (f *Federator) removeSession(id int) {
+	f.mu.Lock()
+	delete(f.sessions, id)
+	f.mu.Unlock()
+}
+
+// sessionsLocked returns the live sessions in ascending app-ID order, the
+// iteration order of every crash/restart sweep (determinism).
+func (f *Federator) sessionsLocked() []*Session {
+	out := make([]*Session, 0, len(f.sessions))
+	for _, sess := range f.sessions {
+		out = append(out, sess)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// count records a fault-recovery event when federation metrics are enabled.
+func (f *Federator) count(appID int, c metrics.Counter, n int) {
+	if f.fedRec != nil && n > 0 {
+		f.fedRec.IncCounter(appID, c, n)
+	}
+}
+
+// ShardDown reports whether shard i is currently crashed.
+func (f *Federator) ShardDown(i int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.down[i]
+}
+
+// Recovery returns the configured crash-recovery policy.
+func (f *Federator) Recovery() RecoveryPolicy { return f.recovery }
+
+// CrashReport summarizes what one shard crash did to the federation.
+type CrashReport struct {
+	Shard  int
+	Policy RecoveryPolicy
+	// Killed lists the app IDs killed under KillOnCrash, ascending.
+	Killed []int
+	// Requeued counts live requests moved to replay queues (RequeueOnCrash).
+	Requeued int
+	// Purged counts finished-request mappings discarded with the shard's
+	// state (they could only be referenced by state that no longer exists).
+	Purged int
+}
+
+// String renders the report as one deterministic trace line.
+func (r CrashReport) String() string {
+	return fmt.Sprintf("crash shard=%d policy=%s killed=%v requeued=%d purged=%d",
+		r.Shard, r.Policy, r.Killed, r.Requeued, r.Purged)
+}
+
+// RestartReport summarizes a shard restart.
+type RestartReport struct {
+	Shard       int
+	Reconnected int // live sessions re-admitted to the shard
+	Replayed    int // queued requests successfully re-submitted
+	Dropped     int // queued requests dropped at replay
+}
+
+// String renders the report as one deterministic trace line.
+func (r RestartReport) String() string {
+	return fmt.Sprintf("restart shard=%d reconnected=%d replayed=%d dropped=%d",
+		r.Shard, r.Reconnected, r.Replayed, r.Dropped)
+}
+
+// CrashShard kills shard i: its rms.Server is stopped (scheduler-side state
+// gone, metrics closed out at the crash instant) and every live session
+// absorbs the loss per the recovery policy — KillOnCrash terminates sessions
+// with live requests there (§3.1.4), RequeueOnCrash moves those requests to
+// replay queues. Survivors immediately receive views re-merged without the
+// dead shard. Crashing an already-down shard is a no-op.
+func (f *Federator) CrashShard(i int) CrashReport {
+	if i < 0 || i >= len(f.shards) {
+		panic(fmt.Sprintf("federation: CrashShard(%d) with %d shards", i, len(f.shards)))
+	}
+	rep := CrashReport{Shard: i, Policy: f.recovery}
+	f.mu.Lock()
+	if f.down[i] {
+		f.mu.Unlock()
+		return rep
+	}
+	f.down[i] = true
+	// Stop the shard inside the critical section: a concurrent RestartShard
+	// (which Resets under f.mu) must never observe down[i] while the shard
+	// is still running. Stop makes no callbacks, and the f.mu → shard-lock
+	// order matches RestartShard's Reset; nothing nests the other way.
+	f.shards[i].Stop()
+	sessions := f.sessionsLocked()
+	f.mu.Unlock()
+
+	var killed []*Session
+	type purgeNotice struct{ ended, reaped []request.ID }
+	notices := make(map[*Session]purgeNotice)
+	for _, sess := range sessions {
+		affected, requeued, purged, ended, reaped := sess.absorbCrash(i, f.recovery)
+		rep.Requeued += requeued
+		rep.Purged += purged
+		f.count(sess.id, metrics.RequeuedRequests, requeued)
+		if len(reaped) > 0 {
+			notices[sess] = purgeNotice{ended, reaped}
+		}
+		if affected && f.recovery == KillOnCrash {
+			killed = append(killed, sess)
+			rep.Killed = append(rep.Killed, sess.id)
+			f.count(sess.id, metrics.KilledSessions, 1)
+		}
+	}
+	// Deliver outcomes with no federation lock held: finish/reap events for
+	// the purged mappings, kills for the affected sessions, re-merged views
+	// for the survivors.
+	for _, sess := range sessions {
+		n := notices[sess]
+		sess.notifyCrashPurged(n.ended, n.reaped)
+	}
+	reason := fmt.Sprintf("federation: shard %d crashed and its scheduler-side state was lost", i)
+	for _, sess := range killed {
+		sess.killFromCrash(reason)
+	}
+	for _, sess := range sessions {
+		sess.pushMerged()
+	}
+	return rep
+}
+
+// RestartShard brings a crashed shard back: its rms.Server is Reset to
+// empty state, the Federator re-admits every live session (the shard's
+// clusters reappear in the merged views on its next scheduling round), and —
+// under RequeueOnCrash — the per-session replay queues are re-submitted in
+// (session-ID, submission) order under their original federated request IDs.
+// Restarting a running shard is a no-op.
+func (f *Federator) RestartShard(i int) RestartReport {
+	if i < 0 || i >= len(f.shards) {
+		panic(fmt.Sprintf("federation: RestartShard(%d) with %d shards", i, len(f.shards)))
+	}
+	rep := RestartReport{Shard: i}
+	f.mu.Lock()
+	if !f.down[i] {
+		f.mu.Unlock()
+		return rep
+	}
+	f.shards[i].Reset()
+	f.down[i] = false
+	sessions := f.sessionsLocked()
+	f.mu.Unlock()
+
+	for _, sess := range sessions {
+		if sess.admitShard(i) {
+			rep.Reconnected++
+		}
+	}
+	for _, sess := range sessions {
+		replayed, dropped := sess.replayQueue(i)
+		rep.Replayed += replayed
+		rep.Dropped += dropped
+		f.count(sess.id, metrics.ReplayedRequests, replayed)
+		f.count(sess.id, metrics.DroppedRequests, dropped)
+	}
+	return rep
+}
+
+// CheckInvariants verifies the cross-shard bookkeeping: every running shard
+// passes its own accounting check, no shard hosts a session the federation
+// no longer knows (orphans), every live session is admitted to every
+// running shard, ID-translation tables are exact bijections with no leaked
+// entries, and replay queues exist only for crashed shards. It is the
+// federation half of the chaos harness's invariant checker.
+func (f *Federator) CheckInvariants() error {
+	f.mu.Lock()
+	down := append([]bool(nil), f.down...)
+	sessions := f.sessionsLocked()
+	f.mu.Unlock()
+
+	live := make(map[int]bool, len(sessions))
+	for _, sess := range sessions {
+		live[sess.id] = true
+	}
+	for i, sh := range f.shards {
+		if down[i] {
+			if !sh.Stopped() {
+				return fmt.Errorf("federation: shard %d marked down but still running", i)
+			}
+			continue
+		}
+		if sh.Stopped() {
+			return fmt.Errorf("federation: shard %d stopped but not marked down", i)
+		}
+		if err := sh.CheckInvariants(); err != nil {
+			return fmt.Errorf("federation: shard %d: %w", i, err)
+		}
+		ids := sh.SessionIDs()
+		admitted := make(map[int]bool, len(ids))
+		for _, id := range ids {
+			if !live[id] {
+				return fmt.Errorf("federation: shard %d hosts orphaned session %d", i, id)
+			}
+			admitted[id] = true
+		}
+		for _, sess := range sessions {
+			if !admitted[sess.id] {
+				return fmt.Errorf("federation: live session %d not admitted to running shard %d", sess.id, i)
+			}
+		}
+	}
+	for _, sess := range sessions {
+		if err := sess.checkInvariants(down); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // nextRequestID reserves one federated request ID. Mirroring rms, an ID is

@@ -1,18 +1,35 @@
 package federation
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
+	"coormv2/internal/metrics"
 	"coormv2/internal/request"
 	"coormv2/internal/rms"
 	"coormv2/internal/view"
 )
 
-// shardReq locates a request on its owning shard.
-type shardReq struct {
+// fedReq is the session's record of one federated request: where it lives,
+// its shard-local ID, and enough of the original spec to replay it after a
+// shard crash (RequeueOnCrash).
+type fedReq struct {
 	shard int
-	id    request.ID // shard-local request ID
+	id    request.ID      // shard-local request ID; 0 while queued
+	spec  rms.RequestSpec // federated-space spec (RelatedTo is a federated ID)
+	// queued marks a request waiting for its crashed shard to restart.
+	queued bool
+	// done marks a finished request (done() or expiry), as reported by the
+	// shard's OnRequestFinished. Finished requests are never requeued.
+	done bool
+	// started/startedAt record the allocation's (latest) start: a
+	// non-preemptible request whose full duration elapsed before a crash is
+	// completed work — only the shard's end-of-round sweep died with the
+	// shard — and must not be re-run.
+	started   bool
+	startedAt float64
 }
 
 // Session is one application's connection to the federation. It satisfies
@@ -33,14 +50,31 @@ type Session struct {
 	h  rms.AppHandler
 	id int
 
+	// admitMu serializes shard admission (Connect's initial fan-out vs a
+	// racing RestartShard re-admission) so the same session cannot be
+	// connected to one shard twice. Never held together with sess.mu beyond
+	// admitShard's own short critical sections.
+	admitMu sync.Mutex
+
 	mu   sync.Mutex
-	subs []*rms.Session // per-shard sub-sessions, indexed by shard
+	subs []*rms.Session // per-shard sub-sessions; nil while a shard is down
+	// shardDown mirrors the federator's down flags under sess.mu: the crash
+	// sweep (absorbCrash) sets it, admission clears it. It lets admitShard
+	// detect a crash that landed while ConnectID was in flight without
+	// nesting sess.mu → federator.mu (which would close a lock cycle with
+	// f.mu → shard lock in CrashShard and shard lock → sess.mu in the
+	// observe hook).
+	shardDown []bool
 	// toLocal / fromLocal translate between federated and shard-local
-	// request IDs. Entries live for the session's lifetime (pruning them on
-	// finish is a ROADMAP open item).
-	toLocal   map[request.ID]shardReq
+	// request IDs. Entries are pruned in lockstep with the shard's own
+	// request GC (OnRequestsReaped): once a request is finished and has no
+	// pending NEXT/COALLOC child it can never be referenced again.
+	toLocal   map[request.ID]*fedReq
 	fromLocal []map[request.ID]request.ID
-	killed    bool
+	// queues holds, per shard, the federated IDs awaiting replay after a
+	// crash, in submission order. Non-empty only while the shard is down.
+	queues [][]request.ID
+	killed bool
 
 	// shardViews holds the latest views pushed by each shard; merged pushes
 	// are serialized by the delivering/viewsDirty pair so a slow handler
@@ -54,7 +88,10 @@ type Session struct {
 func (s *Session) AppID() int { return s.id }
 
 // Request routes the request() operation to the shard owning the target
-// cluster and returns its federated request ID.
+// cluster and returns its federated request ID. If that shard is down the
+// outcome depends on the recovery policy: under RequeueOnCrash the request
+// is queued and replayed when the shard restarts (the ID is returned
+// immediately); under KillOnCrash it fails.
 func (s *Session) Request(spec rms.RequestSpec) (request.ID, error) {
 	shard, ok := s.f.owner[spec.Cluster]
 	if !ok {
@@ -69,54 +106,148 @@ func (s *Session) Request(spec rms.RequestSpec) (request.ID, error) {
 	sub := s.subs[shard]
 	local := spec
 	if spec.RelatedHow != request.Free {
-		sr, ok := s.toLocal[spec.RelatedTo]
+		e, ok := s.toLocal[spec.RelatedTo]
 		if !ok {
 			s.mu.Unlock()
-			return 0, fmt.Errorf("rms: related request %d not found", spec.RelatedTo)
+			return 0, &rms.RequestError{ID: spec.RelatedTo, Related: true, Node: -1, Reason: "not found"}
 		}
-		if sr.shard != shard {
+		if e.shard != shard {
 			s.mu.Unlock()
 			return 0, fmt.Errorf("federation: request targets shard %d but relates to request %d on shard %d (cross-shard relations are not supported)",
-				shard, spec.RelatedTo, sr.shard)
+				shard, spec.RelatedTo, e.shard)
 		}
-		local.RelatedTo = sr.id
+		if e.queued && sub != nil {
+			// Transient real-clock window between a restart's re-admission
+			// and its queue replay; inside the simulator it cannot occur.
+			s.mu.Unlock()
+			return 0, fmt.Errorf("federation: related request %d is awaiting replay on shard %d", spec.RelatedTo, shard)
+		}
+		local.RelatedTo = e.id
 	}
 	s.mu.Unlock()
+
+	if sub == nil {
+		if s.f.recovery != RequeueOnCrash {
+			return 0, fmt.Errorf("federation: shard %d is down", shard)
+		}
+		// Queue the federated-space spec for replay on restart. The ID is
+		// reserved now so the application's bookkeeping works as usual.
+		fid := s.f.nextRequestID()
+		s.mu.Lock()
+		if s.killed {
+			s.mu.Unlock()
+			return 0, fmt.Errorf("rms: session was terminated")
+		}
+		if s.subs[shard] != nil {
+			// The shard restarted (and drained its replay queue) between the
+			// two critical sections — a real-clock-only window, like the
+			// awaiting-replay guard above. Queueing now would strand the
+			// request until the shard's next crash; fail transiently instead.
+			s.mu.Unlock()
+			return 0, fmt.Errorf("federation: shard %d restarted mid-request; retry", shard)
+		}
+		s.toLocal[fid] = &fedReq{shard: shard, spec: spec, queued: true}
+		s.queues[shard] = append(s.queues[shard], fid)
+		s.mu.Unlock()
+		s.f.count(s.id, metrics.RequeuedRequests, 1)
+		return fid, nil
+	}
 
 	fid := s.f.nextRequestID()
 	// observe runs under the shard's lock, before any scheduling round can
 	// start the request, so OnStart always finds the mapping.
 	_, err := sub.RequestObserved(local, func(lid request.ID) {
 		s.mu.Lock()
-		s.toLocal[fid] = shardReq{shard: shard, id: lid}
+		s.toLocal[fid] = &fedReq{shard: shard, id: lid, spec: spec}
 		s.fromLocal[shard][lid] = fid
 		s.mu.Unlock()
 	})
 	if err != nil {
-		return 0, err
+		return 0, s.translateErr(shard, err)
 	}
 	return fid, nil
 }
 
-// Done routes the done() operation to the shard owning the request.
+// Done routes the done() operation to the shard owning the request. done()
+// on a request queued for replay simply drops it from the queue.
 func (s *Session) Done(id request.ID, released []int) error {
 	s.mu.Lock()
 	if s.killed {
 		s.mu.Unlock()
 		return fmt.Errorf("rms: session was terminated")
 	}
-	sr, ok := s.toLocal[id]
+	e, ok := s.toLocal[id]
 	if !ok {
 		s.mu.Unlock()
-		return fmt.Errorf("rms: request %d not found", id)
+		return &rms.RequestError{ID: id, Node: -1, Reason: "not found"}
 	}
-	sub := s.subs[sr.shard]
+	if e.queued {
+		// The request never made it (back) onto a shard; withdrawing it is
+		// purely a federation-side affair. A voluntary withdraw is not lost
+		// work, so it delivers the finish+reap pair exactly like a single
+		// RMS does for a pending-request Done — only recovery drops use the
+		// reap-without-finish signal.
+		s.dropQueuedLocked(e.shard, id)
+		s.mu.Unlock()
+		s.f.count(s.id, metrics.DroppedRequests, 1)
+		s.notifyWithdrawn(id)
+		return nil
+	}
+	sub := s.subs[e.shard]
+	if sub == nil {
+		// Unreachable in the simulator: a crash either queued or purged
+		// every mapping on the dead shard. Real-clock race fallback.
+		s.mu.Unlock()
+		return fmt.Errorf("federation: shard %d is down", e.shard)
+	}
+	lid := e.id
 	s.mu.Unlock()
-	return sub.Done(sr.id, released)
+	if err := sub.Done(lid, released); err != nil {
+		return s.translateErr(e.shard, err)
+	}
+	return nil
 }
 
-// Disconnect ends the session cleanly on every shard.
-func (s *Session) Disconnect() {
+// dropQueuedLocked removes a queued request from its replay queue and table.
+func (s *Session) dropQueuedLocked(shard int, fid request.ID) {
+	q := s.queues[shard]
+	for i, qid := range q {
+		if qid == fid {
+			s.queues[shard] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	delete(s.toLocal, fid)
+}
+
+// translateErr rewrites the shard-local request ID inside a structured
+// rms.RequestError into the federated ID space before the error reaches the
+// application. Errors without an ID (or about IDs the federation never
+// issued) pass through unchanged.
+func (s *Session) translateErr(shard int, err error) error {
+	var re *rms.RequestError
+	if !errors.As(err, &re) {
+		return err
+	}
+	s.mu.Lock()
+	fid, ok := s.fromLocal[shard][re.ID]
+	s.mu.Unlock()
+	if !ok {
+		return err
+	}
+	return re.WithID(fid)
+}
+
+// Disconnect ends the session cleanly on every running shard.
+func (s *Session) Disconnect() { s.teardown("") }
+
+// teardown is the single session-teardown path, shared by Disconnect, the
+// crash sweep (killFromCrash), and a shard-originated kill: it marks the
+// session killed exactly once, disconnects every live sub-session (a no-op
+// on the shard that initiated a kill — its side is already down), and
+// forgets the session federation-side. A non-empty reason also delivers
+// OnKill to the application.
+func (s *Session) teardown(reason string) {
 	s.mu.Lock()
 	if s.killed {
 		s.mu.Unlock()
@@ -126,27 +257,266 @@ func (s *Session) Disconnect() {
 	subs := append([]*rms.Session(nil), s.subs...)
 	s.mu.Unlock()
 	for _, sub := range subs {
-		sub.Disconnect()
+		if sub != nil {
+			sub.Disconnect()
+		}
+	}
+	s.f.removeSession(s.id)
+	if reason != "" {
+		s.h.OnKill(reason)
 	}
 }
 
-// shardHandler is the per-(session, shard) rms.AppHandler: it fans shard
-// notifications back into the federated session.
-type shardHandler struct {
-	sess  *Session
-	shard int
+// absorbCrash updates the session's tables for a crashed shard and reports
+// what happened: affected is true when live scheduler-side state was lost
+// (the KillOnCrash trigger), requeued counts requests moved to the replay
+// queue, purged counts finished mappings discarded with the shard, and
+// ended lists requests whose allocation had already run out its full
+// duration when the shard died — completed work the shard's end-of-round
+// sweep never got to record — and reaped lists every purged mapping (the
+// ended ones plus requests that had finished earlier but were never
+// GC-reaped by the dead shard). The caller delivers the corresponding
+// observer notifications (and the re-merged views) after the sweep, with
+// no locks held.
+func (s *Session) absorbCrash(shard int, pol RecoveryPolicy) (affected bool, requeued, purged int, ended, reaped []request.ID) {
+	now := s.f.clk.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.killed {
+		return false, 0, 0, nil, nil
+	}
+	s.subs[shard] = nil
+	s.shardDown[shard] = true
+	s.shardViews[shard] = [2]view.View{}
+	s.viewsDirty = true
+	// Ascending federated-ID order: deterministic, and it guarantees a
+	// relation's parent (always a smaller ID) is processed first.
+	fids := make([]request.ID, 0, len(s.toLocal))
+	for fid, e := range s.toLocal {
+		if e.shard == shard {
+			fids = append(fids, fid)
+		}
+	}
+	sort.Slice(fids, func(i, j int) bool { return fids[i] < fids[j] })
+	for _, fid := range fids {
+		e := s.toLocal[fid]
+		switch {
+		case e.queued:
+			// Already waiting for a restart; nothing more to lose.
+		case e.done:
+			// The finished request's state died with the shard; nothing can
+			// reference it anymore. Its finish was already delivered — the
+			// reap the dead shard's GC would have produced still must be.
+			delete(s.toLocal, fid)
+			purged++
+			reaped = append(reaped, fid)
+		case e.started && e.spec.Type == request.NonPreempt && now >= e.startedAt+e.spec.Duration:
+			// The allocation ran to its logical end before the crash; only
+			// the shard's sweep (which died with it) hadn't recorded the
+			// finish. Completed work is not re-run under RequeueOnCrash,
+			// and its loss kills nobody under §3.1.4 (no live state died).
+			delete(s.toLocal, fid)
+			purged++
+			ended = append(ended, fid)
+			reaped = append(reaped, fid)
+		case pol == RequeueOnCrash:
+			// A relation whose parent did not survive to the queue (it was
+			// finished, or already gone) is replayed unconstrained: NEXT
+			// after a finished parent is trivially satisfied, and the node
+			// hand-over it implied died with the shard anyway.
+			if e.spec.RelatedHow != request.Free {
+				if pe := s.toLocal[e.spec.RelatedTo]; pe == nil || !pe.queued {
+					e.spec.RelatedHow = request.Free
+					e.spec.RelatedTo = 0
+				}
+			}
+			e.queued = true
+			e.id = 0
+			// The interrupted run's start is history: if the shard dies
+			// again before the replay re-starts, the request must read as
+			// interrupted work, not as an allocation that ran out.
+			e.started = false
+			e.startedAt = 0
+			s.queues[shard] = append(s.queues[shard], fid)
+			requeued++
+		default:
+			affected = true
+		}
+	}
+	s.fromLocal[shard] = make(map[request.ID]request.ID)
+	return affected, requeued, purged, ended, reaped
 }
 
-// OnViews merges the shard's fresh views with the latest views of every
-// other shard and pushes the federated result. Deliveries are serialized
-// per session: if a push arrives while another is being delivered (possible
-// under clock.RealClock where shards run concurrently, or when a handler
-// re-enters), it only marks the state dirty and the active deliverer loops.
-func (h *shardHandler) OnViews(np, p view.View) {
-	s := h.sess
+// notifyCrashPurged delivers the observer events for mappings a crash sweep
+// purged: finishes for allocations that ran out before the crash, then one
+// ascending reap batch covering every purged request — the ran-out ones and
+// those that had finished earlier but were never GC-reaped by the dead
+// shard (their finish was already delivered). Called with no locks held.
+func (s *Session) notifyCrashPurged(ended, reaped []request.ID) {
+	ro, ok := s.h.(rms.RequestObserver)
+	if !ok {
+		return
+	}
+	for _, fid := range ended {
+		ro.OnRequestFinished(fid)
+	}
+	if len(reaped) > 0 {
+		ro.OnRequestsReaped(reaped)
+	}
+}
+
+// notifyWithdrawn delivers the finish + reap pair for a voluntarily
+// withdrawn queued request, mirroring the single-RMS pending-withdraw
+// notifications. Called with no session lock held.
+func (s *Session) notifyWithdrawn(fid request.ID) {
+	if ro, ok := s.h.(rms.RequestObserver); ok {
+		ro.OnRequestFinished(fid)
+		ro.OnRequestsReaped([]request.ID{fid})
+	}
+}
+
+// killFromCrash terminates the session after its shard crashed under
+// KillOnCrash: the surviving sub-sessions are disconnected and the
+// application sees a single OnKill with the crash reason.
+func (s *Session) killFromCrash(reason string) { s.teardown(reason) }
+
+// admitShard connects the session to shard i under its federated ID. It is
+// shared by Connect's initial fan-out and RestartShard's re-admission;
+// admitMu serializes the two so a restart racing a fresh Connect cannot
+// admit the same ID twice (the shard would reject the duplicate). Reports
+// whether this call admitted the session: false if it was already admitted,
+// killed, or the shard is (again) down.
+func (s *Session) admitShard(i int) bool {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
 	s.mu.Lock()
-	s.shardViews[h.shard] = [2]view.View{np, p}
-	s.viewsDirty = true
+	if s.killed || s.subs[i] != nil {
+		s.mu.Unlock()
+		return false
+	}
+	// Optimistically mark the shard up: a crash landing while ConnectID is
+	// in flight re-marks it through absorbCrash, under this same lock.
+	s.shardDown[i] = false
+	s.mu.Unlock()
+	// ConnectID outside sess.mu: it flushes notifications, which
+	// synchronously re-enter the session through the shardHandler.
+	sub, err := s.f.shards[i].ConnectID(&shardHandler{sess: s, shard: i}, s.id)
+	if err != nil {
+		if errors.Is(err, rms.ErrStopped) {
+			return false // crashed (again) before the connect landed
+		}
+		// The federator owns the ID space; a collision is a bug.
+		panic(fmt.Sprintf("federation: shard %d rejected app %d: %v", i, s.id, err))
+	}
+	s.mu.Lock()
+	// Re-check under s.mu: the shard may have crashed — and its sweep
+	// already run — while ConnectID was in flight, and installing the dead
+	// sub would block re-admission on the next restart forever. The sweep
+	// marks shardDown under s.mu, so either the crash is visible here and
+	// we bail, or the sweep runs after us and clears the sub we install.
+	if s.killed || s.shardDown[i] {
+		s.mu.Unlock()
+		sub.Disconnect() // no-op if the shard stopped: the sub died with it
+		return false
+	}
+	s.subs[i] = sub
+	s.mu.Unlock()
+	return true
+}
+
+// notifyDropped reports a queued request that will never start to handlers
+// implementing rms.RequestObserver, so an application is never left waiting
+// on an OnStart that cannot come. A drop is a reap *without* a preceding
+// finish — the allocation never ran — which is how observers distinguish
+// lost work from completed work. Called with no session lock held.
+func (s *Session) notifyDropped(fid request.ID) {
+	if ro, ok := s.h.(rms.RequestObserver); ok {
+		ro.OnRequestsReaped([]request.ID{fid})
+	}
+}
+
+// replayQueue re-submits the session's queued requests to a restarted shard
+// in submission order, under their original federated IDs. A request whose
+// relation cannot be resolved anymore (its parent was dropped) or that the
+// shard rejects is dropped, with a drop notification to observer handlers.
+func (s *Session) replayQueue(shard int) (replayed, dropped int) {
+	s.mu.Lock()
+	fids := s.queues[shard]
+	s.queues[shard] = nil
+	s.mu.Unlock()
+	for _, fid := range fids {
+		s.mu.Lock()
+		if s.killed {
+			delete(s.toLocal, fid)
+			s.mu.Unlock()
+			dropped++
+			continue
+		}
+		e := s.toLocal[fid]
+		if e == nil || !e.queued {
+			s.mu.Unlock()
+			continue
+		}
+		local := e.spec
+		if local.RelatedHow != request.Free {
+			pe := s.toLocal[local.RelatedTo]
+			if pe == nil || pe.queued || pe.shard != shard {
+				// The parent's replay failed or it was dropped: cascade.
+				delete(s.toLocal, fid)
+				s.mu.Unlock()
+				dropped++
+				s.notifyDropped(fid)
+				continue
+			}
+			local.RelatedTo = pe.id
+		}
+		sub := s.subs[shard]
+		s.mu.Unlock()
+		if sub == nil {
+			s.mu.Lock()
+			delete(s.toLocal, fid)
+			s.mu.Unlock()
+			dropped++
+			s.notifyDropped(fid)
+			continue
+		}
+		_, err := sub.RequestObserved(local, func(lid request.ID) {
+			s.mu.Lock()
+			e.id = lid
+			e.queued = false
+			s.fromLocal[shard][lid] = fid
+			s.mu.Unlock()
+		})
+		if err != nil {
+			s.mu.Lock()
+			delete(s.toLocal, fid)
+			s.mu.Unlock()
+			dropped++
+			s.notifyDropped(fid)
+			continue
+		}
+		replayed++
+	}
+	return replayed, dropped
+}
+
+// pushMerged delivers the merged views if a topology change marked them
+// dirty (crash sweeps call it once per surviving session).
+func (s *Session) pushMerged() {
+	s.mu.Lock()
+	if s.killed || !s.viewsDirty {
+		s.mu.Unlock()
+		return
+	}
+	s.deliverViewsLocked()
+}
+
+// deliverViewsLocked drains the dirty flag, delivering merged views with no
+// lock held; it unlocks s.mu before returning. If a delivery is already in
+// progress the flag is left for the active deliverer's loop, so merges are
+// serialized per session (possible under clock.RealClock where shards run
+// concurrently, or when a handler re-enters).
+func (s *Session) deliverViewsLocked() {
 	if s.delivering {
 		s.mu.Unlock()
 		return
@@ -163,13 +533,93 @@ func (h *shardHandler) OnViews(np, p view.View) {
 	s.mu.Unlock()
 }
 
+// checkInvariants verifies the session's translation tables against the
+// shard topology: live mappings form an exact bijection with the reverse
+// tables, nothing references a down shard except queued entries, and replay
+// queues agree with the table's queued set.
+func (s *Session) checkInvariants(down []bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	queued := make([]int, len(s.queues))
+	total := 0
+	for fid, e := range s.toLocal {
+		if e.queued {
+			if !down[e.shard] {
+				return fmt.Errorf("federation: app %d request %d queued for running shard %d", s.id, fid, e.shard)
+			}
+			queued[e.shard]++
+			continue
+		}
+		if down[e.shard] {
+			return fmt.Errorf("federation: app %d request %d maps to down shard %d", s.id, fid, e.shard)
+		}
+		if got, ok := s.fromLocal[e.shard][e.id]; !ok || got != fid {
+			return fmt.Errorf("federation: app %d request %d: reverse mapping on shard %d is %d", s.id, fid, e.shard, got)
+		}
+		total++
+	}
+	reverse := 0
+	for shard, m := range s.fromLocal {
+		for lid, fid := range m {
+			e := s.toLocal[fid]
+			if e == nil || e.queued || e.shard != shard || e.id != lid {
+				return fmt.Errorf("federation: app %d leaked reverse mapping shard=%d local=%d fed=%d", s.id, shard, lid, fid)
+			}
+		}
+		reverse += len(m)
+	}
+	if reverse != total {
+		return fmt.Errorf("federation: app %d has %d forward but %d reverse mappings", s.id, total, reverse)
+	}
+	for shard, q := range s.queues {
+		if len(q) > 0 && !down[shard] {
+			return fmt.Errorf("federation: app %d has a replay queue for running shard %d", s.id, shard)
+		}
+		if len(q) != queued[shard] {
+			return fmt.Errorf("federation: app %d queue/table mismatch on shard %d: %d queued IDs, %d queued mappings",
+				s.id, shard, len(q), queued[shard])
+		}
+		for _, fid := range q {
+			e := s.toLocal[fid]
+			if e == nil || !e.queued || e.shard != shard {
+				return fmt.Errorf("federation: app %d queue for shard %d holds stale request %d", s.id, shard, fid)
+			}
+		}
+	}
+	return nil
+}
+
+// shardHandler is the per-(session, shard) rms.AppHandler: it fans shard
+// notifications back into the federated session. It also implements
+// rms.RequestObserver so the session's ID-translation tables shrink in
+// lockstep with the shard's request GC.
+type shardHandler struct {
+	sess  *Session
+	shard int
+}
+
+// OnViews merges the shard's fresh views with the latest views of every
+// other shard and pushes the federated result.
+func (h *shardHandler) OnViews(np, p view.View) {
+	s := h.sess
+	s.mu.Lock()
+	s.shardViews[h.shard] = [2]view.View{np, p}
+	s.viewsDirty = true
+	s.deliverViewsLocked()
+}
+
 // mergedLocked builds the federated views from the latest per-shard views.
-// Shard cluster sets are disjoint, so merging is plain map union. With a
-// single shard the shard's views are forwarded as-is, keeping a 1-shard
-// federation byte-identical to a single RMS.
+// Shard cluster sets are disjoint, so merging is plain map union; a crashed
+// shard's entry is zeroed, so its clusters simply vanish from the merge.
+// With a single shard the shard's views are forwarded as-is, keeping a
+// 1-shard federation byte-identical to a single RMS.
 func (s *Session) mergedLocked() (np, p view.View) {
 	if len(s.shardViews) == 1 {
 		v := s.shardViews[0]
+		if v[0] == nil && v[1] == nil {
+			// The only shard is down: nothing is visible.
+			return view.New(), view.New()
+		}
 		return v[0], v[1]
 	}
 	np, p = view.New(), view.New()
@@ -184,11 +634,19 @@ func (s *Session) mergedLocked() (np, p view.View) {
 	return np, p
 }
 
-// OnStart translates the shard-local request ID back to its federated ID.
+// OnStart translates the shard-local request ID back to its federated ID
+// and records the start instant (crash recovery distinguishes allocations
+// that ran out their duration from ones interrupted mid-run).
 func (h *shardHandler) OnStart(id request.ID, nodeIDs []int) {
 	s := h.sess
 	s.mu.Lock()
 	fid, ok := s.fromLocal[h.shard][id]
+	if ok {
+		if e := s.toLocal[fid]; e != nil {
+			e.started = true
+			e.startedAt = s.f.clk.Now()
+		}
+	}
 	s.mu.Unlock()
 	if !ok {
 		// RequestObserved registers the mapping under the shard lock before
@@ -198,26 +656,55 @@ func (h *shardHandler) OnStart(id request.ID, nodeIDs []int) {
 	s.h.OnStart(fid, nodeIDs)
 }
 
-// OnKill propagates a shard-side protocol-violation kill (§3.1.4) to the
-// whole federated session: the remaining shard sub-sessions are
-// disconnected and the application sees a single OnKill.
-func (h *shardHandler) OnKill(reason string) {
+// OnRequestFinished marks the request finished in the session's table
+// (finished requests are never requeued after a crash) and forwards the
+// event under its federated ID to applications implementing
+// rms.RequestObserver, matching what a single RMS would deliver.
+func (h *shardHandler) OnRequestFinished(id request.ID) {
 	s := h.sess
 	s.mu.Lock()
-	if s.killed {
-		s.mu.Unlock()
-		return
-	}
-	s.killed = true
-	others := make([]*rms.Session, 0, len(s.subs)-1)
-	for i, sub := range s.subs {
-		if i != h.shard && sub != nil {
-			others = append(others, sub)
+	fid, ok := s.fromLocal[h.shard][id]
+	if ok {
+		if e := s.toLocal[fid]; e != nil {
+			e.done = true
 		}
 	}
 	s.mu.Unlock()
-	for _, sub := range others {
-		sub.Disconnect()
+	if !ok {
+		return
 	}
-	s.h.OnKill(reason)
+	if ro, obs := s.h.(rms.RequestObserver); obs {
+		ro.OnRequestFinished(fid)
+	}
 }
+
+// OnRequestsReaped prunes the ID-translation entries of requests the shard
+// garbage-collected: they are finished with no pending NEXT/COALLOC child,
+// so nothing can ever reference them again.
+func (h *shardHandler) OnRequestsReaped(ids []request.ID) {
+	s := h.sess
+	fids := make([]request.ID, 0, len(ids))
+	s.mu.Lock()
+	for _, id := range ids {
+		if fid, ok := s.fromLocal[h.shard][id]; ok {
+			delete(s.fromLocal[h.shard], id)
+			delete(s.toLocal, fid)
+			fids = append(fids, fid)
+		}
+	}
+	s.mu.Unlock()
+	if len(fids) == 0 {
+		return
+	}
+	if ro, obs := s.h.(rms.RequestObserver); obs {
+		sort.Slice(fids, func(i, j int) bool { return fids[i] < fids[j] })
+		ro.OnRequestsReaped(fids)
+	}
+}
+
+// OnKill propagates a shard-side protocol-violation kill (§3.1.4) to the
+// whole federated session: the remaining shard sub-sessions are
+// disconnected and the application sees a single OnKill. Disconnecting the
+// killing shard's own sub-session is a harmless no-op (it is already marked
+// killed shard-side before this notification is flushed).
+func (h *shardHandler) OnKill(reason string) { h.sess.teardown(reason) }

@@ -32,6 +32,46 @@ type appTrack struct {
 	preArea  float64 // integral of pre-allocated nodes
 	waste    float64 // node·seconds lost (killed preemptible tasks)
 	maxAlloc int
+	counts   [numCounters]int // fault-recovery event counters
+}
+
+// Counter identifies a fault-recovery event counter. The federation layer
+// records them when a scheduler shard crashes or restarts
+// (internal/federation, internal/chaos).
+type Counter uint8
+
+const (
+	// KilledSessions counts sessions killed because the shard holding their
+	// scheduler-side state crashed (§3.1.4 semantics).
+	KilledSessions Counter = iota
+	// RequeuedRequests counts live requests moved to a replay queue when
+	// their shard crashed (or submitted while it was down).
+	RequeuedRequests
+	// ReplayedRequests counts queued requests successfully re-submitted to a
+	// restarted shard.
+	ReplayedRequests
+	// DroppedRequests counts queued requests that never made it back onto a
+	// shard: done() while queued, a failed replay, or an unresolvable
+	// relation after the crash.
+	DroppedRequests
+
+	numCounters
+)
+
+// String names the counter for reports.
+func (c Counter) String() string {
+	switch c {
+	case KilledSessions:
+		return "killed-sessions"
+	case RequeuedRequests:
+		return "requeued-requests"
+	case ReplayedRequests:
+		return "replayed-requests"
+	case DroppedRequests:
+		return "dropped-requests"
+	default:
+		return fmt.Sprintf("Counter(%d)", uint8(c))
+	}
 }
 
 // NewRecorder returns an empty recorder.
@@ -90,6 +130,37 @@ func (r *Recorder) AddWaste(appID int, nodeSeconds float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.track(appID).waste += nodeSeconds
+}
+
+// IncCounter adds n occurrences of a fault-recovery event for appID.
+func (r *Recorder) IncCounter(appID int, c Counter, n int) {
+	if c >= numCounters {
+		panic(fmt.Sprintf("metrics: unknown counter %d", c))
+	}
+	if n < 0 {
+		panic("metrics: negative counter increment")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.track(appID).counts[c] += n
+}
+
+// Count returns the number of recorded occurrences of c for appID.
+func (r *Recorder) Count(appID int, c Counter) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.track(appID).counts[c]
+}
+
+// TotalCount returns the occurrences of c summed over all applications.
+func (r *Recorder) TotalCount(c Counter) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := 0
+	for _, tr := range r.apps {
+		s += tr.counts[c]
+	}
+	return s
 }
 
 // Area returns the node·seconds consumed by appID up to time t.
@@ -272,6 +343,25 @@ func (a *Aggregate) TotalWaste() float64 {
 	s := 0.0
 	for _, r := range a.recs {
 		s += r.TotalWaste()
+	}
+	return s
+}
+
+// Count returns the occurrences of c for appID across all recorders.
+func (a *Aggregate) Count(appID int, c Counter) int {
+	s := 0
+	for _, r := range a.recs {
+		s += r.Count(appID, c)
+	}
+	return s
+}
+
+// TotalCount returns the occurrences of c across all recorders and
+// applications.
+func (a *Aggregate) TotalCount(c Counter) int {
+	s := 0
+	for _, r := range a.recs {
+		s += r.TotalCount(c)
 	}
 	return s
 }

@@ -274,8 +274,10 @@ func (s *Set) Children(r *Request) []*Request {
 // GC removes requests whose allocation is over at time now and that no
 // pending request is constrained to. Keeping a finished request around is
 // harmless (its rectangle lies entirely in the past), but sets would grow
-// without bound in long-running sessions.
-func (s *Set) GC(now float64) {
+// without bound in long-running sessions. When reaped is non-nil it is
+// called, in set order, for every removed request — the RMS forwards the
+// IDs to routing layers so they can prune translation tables in lockstep.
+func (s *Set) GC(now float64, reaped func(*Request)) {
 	needed := map[*Request]bool{}
 	for _, r := range s.reqs {
 		if !r.Ended(now) && r.RelatedTo != nil {
@@ -285,6 +287,9 @@ func (s *Set) GC(now float64) {
 	kept := s.reqs[:0]
 	for _, r := range s.reqs {
 		if r.Ended(now) && !needed[r] {
+			if reaped != nil {
+				reaped(r)
+			}
 			continue
 		}
 		kept = append(kept, r)

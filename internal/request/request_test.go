@@ -197,7 +197,7 @@ func TestGC(t *testing.T) {
 	s.Add(live)
 	s.Add(pendingChild)
 
-	s.GC(50)
+	s.GC(50, nil)
 	if !s.Contains(old) {
 		t.Fatal("GC removed a request that a pending child references")
 	}
@@ -205,7 +205,7 @@ func TestGC(t *testing.T) {
 	// Once the child starts and ends, both can go.
 	pendingChild.StartedAt = 10
 	pendingChild.Duration = 5 // ends at 15
-	s.GC(50)
+	s.GC(50, nil)
 	if s.Contains(old) || s.Contains(pendingChild) {
 		t.Error("GC should remove finished chain")
 	}
@@ -220,7 +220,7 @@ func TestGCDoneRequests(t *testing.T) {
 	r.StartedAt = 0
 	r.Finished = true
 	s.Add(r)
-	s.GC(1)
+	s.GC(1, nil)
 	if s.Len() != 0 {
 		t.Error("finished request should be collected")
 	}

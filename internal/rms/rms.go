@@ -36,6 +36,23 @@ type AppHandler interface {
 	OnKill(reason string)
 }
 
+// RequestObserver is an optional AppHandler extension for ID-routing layers
+// (internal/federation). Handlers that implement it are additionally told
+// when a request finishes (done() or duration expiry) and when finished
+// requests are garbage-collected — i.e. can no longer be referenced by
+// done() or a NEXT/COALLOC relation — so per-session routing tables can be
+// pruned in lockstep with the server's own bookkeeping. Like every other
+// handler callback, notifications are delivered without the server lock
+// held, in deterministic (session-ID, then request-ID) order.
+type RequestObserver interface {
+	// OnRequestFinished reports that the request's allocation is over.
+	// The request may still be referenced by a pending NEXT child.
+	OnRequestFinished(id request.ID)
+	// OnRequestsReaped reports that the requests were garbage-collected
+	// and can no longer be referenced at all. IDs are in ascending order.
+	OnRequestsReaped(ids []request.ID)
+}
+
 // RequestSpec is the application-provided part of a request (§A.1).
 type RequestSpec struct {
 	Cluster    view.ClusterID
@@ -95,8 +112,12 @@ type Server struct {
 	// notifications queued during a locked section, delivered unlocked.
 	pending []func()
 
-	// idScratch is the session-ID buffer reused by pushViewsLocked.
+	// idScratch is the session-ID buffer reused by sessionIDsLocked.
 	idScratch []int
+
+	// stopped marks a crashed server (Stop): all state is gone and every
+	// operation fails until Reset.
+	stopped bool
 }
 
 // NewServer creates an RMS server. It panics on an invalid configuration.
@@ -113,26 +134,32 @@ func NewServer(cfg Config) *Server {
 	if cfg.GracePeriod <= 0 {
 		cfg.GracePeriod = 5 * cfg.ReschedInterval
 	}
-	s := &Server{
-		cfg:          cfg,
-		sched:        core.NewScheduler(cfg.Clusters),
-		clk:          cfg.Clock,
-		sessions:     make(map[int]*Session),
-		pools:        make(map[view.ClusterID]*idPool),
-		lastViews:    make(map[int][2]view.View),
-		deficitSince: make(map[int]float64),
-		nextApp:      1,
-		nextReq:      1,
+	s := &Server{cfg: cfg, clk: cfg.Clock}
+	s.initStateLocked()
+	return s
+}
+
+// initStateLocked (re)builds the server's mutable scheduling state from the
+// configuration: a fresh scheduler, empty session tables, full node-ID
+// pools, and restarted ID sequences. Shared by NewServer and Reset so a
+// restarted shard cannot silently diverge from a freshly constructed one.
+func (s *Server) initStateLocked() {
+	s.sched = core.NewScheduler(s.cfg.Clusters)
+	s.sched.SetPolicy(s.cfg.Policy)
+	if s.cfg.Clip != nil {
+		s.sched.SetClip(s.cfg.Clip)
 	}
-	s.sched.SetPolicy(cfg.Policy)
-	if cfg.Clip != nil {
-		s.sched.SetClip(cfg.Clip)
-	}
-	for cid, n := range cfg.Clusters {
+	s.sessions = make(map[int]*Session)
+	s.lastViews = make(map[int][2]view.View)
+	s.deficitSince = make(map[int]float64)
+	s.pools = make(map[view.ClusterID]*idPool, len(s.cfg.Clusters))
+	for cid, n := range s.cfg.Clusters {
 		s.pools[cid] = newIDPool(n)
 	}
+	s.nextApp = 1
+	s.nextReq = 1
 	s.lastRunAt = math.Inf(-1)
-	return s
+	s.ranOnce = false
 }
 
 // Session is one application's connection to the RMS.
@@ -148,9 +175,15 @@ type Session struct {
 func (sess *Session) AppID() int { return sess.app.ID }
 
 // Connect registers an application and returns its session. The first view
-// push happens on the next scheduling round.
+// push happens on the next scheduling round. Connect panics on a stopped
+// server; routing layers use ConnectID, which reports the condition as an
+// error instead.
 func (s *Server) Connect(h AppHandler) *Session {
 	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		panic("rms: Connect on a stopped server")
+	}
 	sess := s.connectLocked(h, s.nextApp)
 	s.mu.Unlock()
 	s.flush()
@@ -167,6 +200,10 @@ func (s *Server) ConnectID(h AppHandler, id int) (*Session, error) {
 		return nil, fmt.Errorf("rms: application ID %d must be positive", id)
 	}
 	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil, ErrStopped
+	}
 	if _, taken := s.sessions[id]; taken {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("rms: application ID %d already connected", id)
@@ -193,6 +230,157 @@ func (s *Server) connectLocked(h AppHandler, id int) *Session {
 // Scheduler exposes the underlying scheduler for inspection (tests,
 // experiment harness). Mutating it directly is not supported.
 func (s *Server) Scheduler() *core.Scheduler { return s.sched }
+
+// Stop simulates a crash: the scheduler-side state of every session is
+// dropped without notification (the process died — there are no goodbye
+// messages; a routing layer such as internal/federation decides what the
+// applications are told), pending timers and notifications are cancelled,
+// and every subsequent operation fails until Reset. Metrics integrals are
+// closed out at the crash instant so no allocation keeps accruing area for
+// a dead shard. Stop is idempotent.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	now := s.clk.Now()
+	for _, id := range s.sessionIDsLocked() {
+		sess := s.sessions[id]
+		sess.killed = true
+		sess.held = 0
+		if s.cfg.Metrics != nil {
+			s.cfg.Metrics.SetAlloc(id, now, 0)
+			s.cfg.Metrics.SetPreAlloc(id, now, 0)
+		}
+	}
+	s.sessions = make(map[int]*Session)
+	s.lastViews = make(map[int][2]view.View)
+	s.deficitSince = make(map[int]float64)
+	if s.schedTimer != nil {
+		s.schedTimer.Stop()
+		s.schedTimer = nil
+	}
+	if s.wakeTimer != nil {
+		s.wakeTimer.Stop()
+		s.wakeTimer = nil
+	}
+	s.schedPending = false
+	s.pending = nil
+	s.mu.Unlock()
+}
+
+// Stopped reports whether the server is stopped (crashed and not yet Reset).
+func (s *Server) Stopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopped
+}
+
+// Reset restarts a stopped server with completely empty state — a fresh
+// scheduler, full node-ID pools, and restarted ID sequences — modelling a
+// shard process that rejoins after a crash with no recollection of its
+// previous life. The configuration (clusters, policy, clip, metrics
+// recorder) is retained. Reset panics if the server is still running.
+func (s *Server) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.stopped {
+		panic("rms: Reset on a running server")
+	}
+	s.stopped = false
+	s.initStateLocked()
+}
+
+// SessionIDs returns the connected application IDs in ascending order.
+func (s *Server) SessionIDs() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.sessionIDsLocked()...)
+}
+
+// sessionIDsLocked returns the live session IDs in ascending order, reusing
+// the server's scratch buffer (valid until the next call).
+func (s *Server) sessionIDsLocked() []int {
+	ids := s.idScratch[:0]
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	s.idScratch = ids
+	return ids
+}
+
+// CheckInvariants verifies the server's internal accounting: every held
+// node ID belongs to exactly one request, pools neither leak nor double-book
+// IDs, per-session held counters match the requests' ID lists, and the
+// metrics recorder's current allocation agrees with reality (the
+// double-counted-area guard). A stopped server must hold nothing. It is the
+// per-shard half of the chaos harness's post-run invariant checker.
+func (s *Server) CheckInvariants() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		if len(s.sessions) != 0 {
+			return fmt.Errorf("rms: stopped server still has %d sessions", len(s.sessions))
+		}
+		if s.cfg.Metrics != nil {
+			for _, id := range s.cfg.Metrics.Apps() {
+				if n := s.cfg.Metrics.Current(id); n != 0 {
+					return fmt.Errorf("rms: stopped server still accrues %d nodes for app %d", n, id)
+				}
+			}
+		}
+		return nil
+	}
+	held := make(map[view.ClusterID]map[int]request.ID, len(s.pools))
+	for _, id := range s.sessionIDsLocked() {
+		sess := s.sessions[id]
+		total := 0
+		for _, r := range sess.app.Requests() {
+			for _, nid := range r.NodeIDs {
+				pool := s.pools[r.Cluster]
+				if pool == nil {
+					return fmt.Errorf("rms: request %d holds nodes on unknown cluster %q", r.ID, r.Cluster)
+				}
+				if nid < 0 || nid >= pool.size {
+					return fmt.Errorf("rms: request %d holds out-of-range node %d on %q", r.ID, nid, r.Cluster)
+				}
+				m := held[r.Cluster]
+				if m == nil {
+					m = make(map[int]request.ID)
+					held[r.Cluster] = m
+				}
+				if other, dup := m[nid]; dup {
+					return fmt.Errorf("rms: node %d on %q held by requests %d and %d", nid, r.Cluster, other, r.ID)
+				}
+				m[nid] = r.ID
+				total++
+			}
+		}
+		if sess.held != total {
+			return fmt.Errorf("rms: app %d held counter %d != %d node IDs across its requests", id, sess.held, total)
+		}
+		if s.cfg.Metrics != nil {
+			if n := s.cfg.Metrics.Current(id); n != total {
+				return fmt.Errorf("rms: app %d metrics report %d current nodes, holds %d", id, n, total)
+			}
+		}
+	}
+	for cid, pool := range s.pools {
+		for _, nid := range pool.freeIDs {
+			if _, both := held[cid][nid]; both {
+				return fmt.Errorf("rms: node %d on %q is both free and held", nid, cid)
+			}
+		}
+		if pool.available()+len(held[cid]) != pool.size {
+			return fmt.Errorf("rms: cluster %q leaks node IDs: %d free + %d held != %d",
+				cid, pool.available(), len(held[cid]), pool.size)
+		}
+	}
+	return nil
+}
 
 // Now returns the server's current time.
 func (s *Server) Now() float64 { return s.clk.Now() }
@@ -222,7 +410,7 @@ func (sess *Session) RequestObserved(spec RequestSpec, observe func(request.ID))
 		parent = sess.findRequestLocked(spec.RelatedTo)
 		if parent == nil {
 			s.mu.Unlock()
-			return 0, fmt.Errorf("rms: related request %d not found", spec.RelatedTo)
+			return 0, errRelated(spec.RelatedTo, "not found")
 		}
 	}
 	if _, ok := s.cfg.Clusters[spec.Cluster]; !ok {
@@ -262,15 +450,18 @@ func (sess *Session) Done(id request.ID, released []int) error {
 	r := sess.findRequestLocked(id)
 	if r == nil {
 		s.mu.Unlock()
-		return fmt.Errorf("rms: request %d not found", id)
+		return errRequest(id, "not found")
 	}
 	if r.Finished {
 		s.mu.Unlock()
-		return fmt.Errorf("rms: request %d already finished", id)
+		return errRequest(id, "already finished")
 	}
 	if !r.Started() {
-		// A pending request is simply withdrawn.
+		// A pending request is simply withdrawn: it is gone from the sets at
+		// once, so it is reported as both finished and reaped.
 		sess.app.SetFor(r.Type).Remove(r)
+		s.notifyFinishedLocked(sess, r.ID)
+		s.notifyReapedLocked(sess, []request.ID{r.ID})
 		s.requestRunLocked()
 		s.mu.Unlock()
 		s.flush()
@@ -326,6 +517,24 @@ func (sess *Session) finishLocked(r *request.Request, now float64, released []in
 	if now < r.StartedAt {
 		now = r.StartedAt
 	}
+
+	// Which of the held IDs go back to the pool? Validated before any
+	// mutation: a rejected done() must leave the request untouched and
+	// retryable, not half-finished with node IDs that can never be freed.
+	keepForChild := false
+	if r.Type != request.PreAlloc {
+		keepForChild = sess.hasPendingNextChildLocked(r)
+		if !keepForChild {
+			released = r.NodeIDs
+		} else {
+			for _, id := range released {
+				if !containsInt(r.NodeIDs, id) {
+					return errNode(r.ID, id)
+				}
+			}
+		}
+	}
+
 	r.Duration = now - r.StartedAt
 	if r.Duration == 0 {
 		// Keep a zero-length allocation representable; it occupies nothing.
@@ -334,27 +543,37 @@ func (sess *Session) finishLocked(r *request.Request, now float64, released []in
 	r.Finished = true
 
 	if r.Type == request.PreAlloc {
+		s.notifyFinishedLocked(sess, r.ID)
 		return nil // pre-allocations hold no node IDs
 	}
 
-	// Which of the held IDs go back to the pool?
-	keepForChild := sess.hasPendingNextChildLocked(r)
-	if !keepForChild {
-		released = r.NodeIDs
-	} else {
-		for _, id := range released {
-			if !containsInt(r.NodeIDs, id) {
-				return fmt.Errorf("rms: released node %d is not held by request %d", id, r.ID)
-			}
-		}
-	}
 	if len(released) > 0 {
 		s.pools[r.Cluster].free(released)
 		r.NodeIDs = removeInts(r.NodeIDs, released)
 		sess.held -= len(released)
 		s.recordAllocLocked(sess, now)
 	}
+	s.notifyFinishedLocked(sess, r.ID)
 	return nil
+}
+
+// notifyFinishedLocked queues an OnRequestFinished notification for handlers
+// implementing the RequestObserver extension.
+func (s *Server) notifyFinishedLocked(sess *Session, id request.ID) {
+	if ro, ok := sess.h.(RequestObserver); ok {
+		s.pending = append(s.pending, func() { ro.OnRequestFinished(id) })
+	}
+}
+
+// notifyReapedLocked queues an OnRequestsReaped notification for handlers
+// implementing the RequestObserver extension. ids must be sorted ascending.
+func (s *Server) notifyReapedLocked(sess *Session, ids []request.ID) {
+	if len(ids) == 0 {
+		return
+	}
+	if ro, ok := sess.h.(RequestObserver); ok {
+		s.pending = append(s.pending, func() { ro.OnRequestsReaped(ids) })
+	}
 }
 
 // teardownLocked releases everything an application holds and removes it.
@@ -408,17 +627,28 @@ func (s *Server) requestRunLocked() {
 // ScheduleNow forces a synchronous scheduling round at the current time,
 // bypassing the re-scheduling interval. It exists for tests and external
 // drivers that step rounds directly instead of waiting on clock timers;
-// production code relies on the coalesced timer instead.
+// production code relies on the coalesced timer instead. It is a no-op on a
+// stopped server.
 func (s *Server) ScheduleNow() {
 	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
 	s.runLocked()
 	s.mu.Unlock()
 	s.flush()
 }
 
-// runScheduled is the timer callback for a scheduling round.
+// runScheduled is the timer callback for a scheduling round. Stop cancels
+// the timers, but under a real clock a firing callback can race the crash;
+// the stopped guard makes that race a no-op.
 func (s *Server) runScheduled() {
 	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
 	s.schedPending = false
 	s.runLocked()
 	s.mu.Unlock()
@@ -473,11 +703,29 @@ func (s *Server) runLocked() {
 	deadline := s.enforcePreemptionLocked(now)
 	s.recordPreAllocLocked(now)
 	s.armWakeLocked(now, deadline)
+	s.gcRequestsLocked(now)
+}
 
-	for _, sess := range s.sessions {
-		sess.app.PA.GC(now)
-		sess.app.NP.GC(now)
-		sess.app.P.GC(now)
+// gcRequestsLocked garbage-collects finished, unreferenced requests from
+// every session's sets and tells RequestObserver handlers which IDs were
+// reaped. Sessions are walked in ID order so the notification order is
+// deterministic.
+func (s *Server) gcRequestsLocked(now float64) {
+	for _, id := range s.sessionIDsLocked() {
+		sess := s.sessions[id]
+		ro, observes := sess.h.(RequestObserver)
+		var reaped []request.ID
+		var collect func(*request.Request)
+		if observes {
+			collect = func(r *request.Request) { reaped = append(reaped, r.ID) }
+		}
+		sess.app.PA.GC(now, collect)
+		sess.app.NP.GC(now, collect)
+		sess.app.P.GC(now, collect)
+		if observes && len(reaped) > 0 {
+			sort.Slice(reaped, func(i, j int) bool { return reaped[i] < reaped[j] })
+			s.pending = append(s.pending, func() { ro.OnRequestsReaped(reaped) })
+		}
 	}
 }
 
@@ -487,12 +735,14 @@ func (s *Server) runLocked() {
 // (for a shrinking NEXT update the application should have called done()
 // with its chosen IDs; if it did not, the RMS picks).
 func (s *Server) sweepExpiredLocked(now float64) {
-	for _, sess := range s.sessions {
+	for _, id := range s.sessionIDsLocked() {
+		sess := s.sessions[id]
 		for _, r := range sess.app.Requests() {
 			if !r.Started() || r.Finished || r.End() > now+1e-9 {
 				continue
 			}
 			r.Finished = true
+			s.notifyFinishedLocked(sess, r.ID)
 			if r.Type == request.PreAlloc {
 				continue
 			}
@@ -578,13 +828,7 @@ func (s *Server) startRequestsLocked(outcome *core.Outcome, now float64) {
 // in the past are reconstruction artifacts.
 func (s *Server) pushViewsLocked(outcome *core.Outcome) {
 	now := s.clk.Now()
-	ids := s.idScratch[:0]
-	for id := range s.sessions {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	s.idScratch = ids
-	for _, id := range ids {
+	for _, id := range s.sessionIDsLocked() {
 		sess := s.sessions[id]
 		np := outcome.NonPreemptViews[id]
 		p := outcome.PreemptViews[id]
@@ -614,7 +858,10 @@ func (s *Server) pushViewsLocked(outcome *core.Outcome) {
 func (s *Server) enforcePreemptionLocked(now float64) float64 {
 	var toKill []*Session
 	earliest := math.Inf(1)
-	for id, sess := range s.sessions {
+	// Session-ID order keeps multi-kill rounds (and their OnKill
+	// notification order) deterministic.
+	for _, id := range s.sessionIDsLocked() {
+		sess := s.sessions[id]
 		deficit := false
 		for _, r := range sess.app.P.All() {
 			if r.Started() && !r.Finished && len(r.NodeIDs) > r.NAlloc {

@@ -222,6 +222,18 @@ func TestDoneWithForeignIDErrors(t *testing.T) {
 	if err := app.sess.Done(cur, []int{99}); err == nil {
 		t.Error("releasing a node ID the request does not hold should error")
 	}
+	// The failed done() must leave the request untouched and retryable —
+	// not half-finished with node IDs that can never return to the pool.
+	if len(app.starts) != 1 {
+		t.Fatalf("starts = %v", app.starts)
+	}
+	if err := app.sess.Done(cur, app.starts[0].ids[:1]); err != nil {
+		t.Fatalf("retrying done() after a rejected release: %v", err)
+	}
+	e.RunAll()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestPreallocationAndMalleableFilling(t *testing.T) {

@@ -68,7 +68,15 @@ type Engine struct {
 	stopped bool
 	// processed counts fired events, for diagnostics and runaway detection.
 	processed int64
+	// observe, when set, sees every fired event just before its callback
+	// runs (time, name). The chaos harness uses it to fingerprint the full
+	// event stream: two runs are identical iff their observers see the same
+	// sequence.
+	observe func(at float64, name string)
 }
+
+// SetObserver installs (or, with nil, removes) the fired-event observer.
+func (e *Engine) SetObserver(fn func(at float64, name string)) { e.observe = fn }
 
 // NewEngine returns an engine with the clock at 0.
 func NewEngine() *Engine {
@@ -137,6 +145,9 @@ func (e *Engine) Run(until float64) int64 {
 		ev.fn = nil
 		e.processed++
 		n++
+		if e.observe != nil {
+			e.observe(ev.at, ev.name)
+		}
 		fn()
 	}
 	if !e.stopped && !math.IsInf(until, 1) && e.now < until {
