@@ -268,6 +268,105 @@ func BenchmarkFederatedThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkFederatedThroughputSkewed measures the rebalancer's win under
+// load skew: 32 clusters × 256 nodes over 4 shards, but every standing
+// application and all churn live on the 8 clusters initially owned by shard
+// 0 — so without rebalancing every churn arrival re-schedules the whole
+// standing fleet, while the other three shards idle. With rebalancing on, a
+// Rebalancer (4-second checks, default skew ratio) migrates hot clusters —
+// standing requests, node-ID pools and views included — until the hot set
+// is spread across shards and each arrival re-schedules only a quarter of
+// the fleet. The identical warm-up phase (128 arrivals, enough checks for
+// the migrations to settle) runs in both variants so the measured loop
+// compares steady states.
+func BenchmarkFederatedThroughputSkewed(b *testing.B) {
+	const (
+		nClusters = 32
+		nodesPer  = 256
+		shards    = 4
+		appsPerCl = 8 // per hot cluster
+	)
+	for _, rebalance := range []bool{false, true} {
+		name := "rebalance=off"
+		if rebalance {
+			name = "rebalance=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			e := sim.NewEngine()
+			clk := clock.SimClock{E: e}
+			clusters := make(map[view.ClusterID]int, nClusters)
+			cids := make([]view.ClusterID, nClusters)
+			for i := range cids {
+				// Two-digit names sort in index order, so Partition gives
+				// cluster i to shard i%shards: the hot set is i%shards == 0.
+				cids[i] = view.ClusterID(fmt.Sprintf("c%02d", i))
+				clusters[cids[i]] = nodesPer
+			}
+			hot := make([]view.ClusterID, 0, nClusters/shards)
+			for i := 0; i < nClusters; i += shards {
+				hot = append(hot, cids[i])
+			}
+			fed := federation.New(federation.Config{
+				Clusters:        clusters,
+				Shards:          shards,
+				ReschedInterval: 1,
+				GracePeriod:     1e18, // standing apps never release; don't kill them
+				Clock:           clk,
+			})
+			for i := 0; i < len(hot)*appsPerCl; i++ {
+				cid := hot[i%len(hot)]
+				sess := fed.Connect(inertApp{})
+				pa, err := sess.Request(rms.RequestSpec{Cluster: cid, N: 16, Duration: 1e9 + float64(i)*1013, Type: request.PreAlloc})
+				if err != nil {
+					b.Fatal(err)
+				}
+				np, err := sess.Request(rms.RequestSpec{Cluster: cid, N: 8, Duration: 1e8 + float64(i)*997, Type: request.NonPreempt,
+					RelatedHow: request.Coalloc, RelatedTo: pa})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sess.Request(rms.RequestSpec{Cluster: cid, N: 12, Duration: 1e8 + float64(i)*991, Type: request.NonPreempt,
+					RelatedHow: request.Next, RelatedTo: np}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sess.Request(rms.RequestSpec{Cluster: cid, N: 4, Duration: math.Inf(1), Type: request.Preempt}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var rb *federation.Rebalancer
+			if rebalance {
+				rb = federation.NewRebalancer(fed, federation.RebalancerConfig{Interval: 4})
+				rb.Start()
+				defer rb.Stop()
+			}
+			churn := fed.Connect(inertApp{})
+			arrive := func(i int) {
+				if _, err := churn.Request(rms.RequestSpec{
+					Cluster: hot[(i/8)%len(hot)], N: 1, Duration: 0.4, Type: request.Preempt,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				e.Run(e.Now() + 1)
+			}
+			// Warm-up: settle initial rounds, then enough churn for the
+			// rebalancer (when on) to spread the hot set.
+			e.Run(e.Now() + 5)
+			for i := 0; i < 128; i++ {
+				arrive(i)
+			}
+			if rebalance && rb.Migrations() == 0 {
+				b.Fatal("warm-up produced no migrations; the skewed scenario is mis-tuned")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				arrive(i)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "requests/s")
+		})
+	}
+}
+
 // BenchmarkFederatedThroughputParallel measures real-clock, truly parallel
 // request throughput: shards run behind their own locks, and concurrent
 // sessions hammer request()/done() cycles on per-goroutine clusters. With

@@ -26,15 +26,12 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig9|fig10|fig11|ablation|accounting|replay|federated|chaos|all")
-		seed   = flag.Int64("seed", 1, "base random seed")
-		full   = flag.Bool("full", false, "paper scale (1000 steps, 3.16 TiB) instead of the fast reduced scale")
-		steps  = flag.Int("steps", 0, "override profile length (0 = scale default)")
-		shards = flag.Int("shards", 4, "maximum shard count for the federated experiment (swept in powers of two)")
-
-		crashRate    = flag.Float64("crash-rate", 2, "chaos: expected crashes per shard per simulated hour")
-		restartDelay = flag.Float64("restart-delay", 180, "chaos: mean shard restart delay in simulated seconds")
+		exp   = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig9|fig10|fig11|ablation|accounting|replay|federated|chaos|rebalance|all")
+		seed  = flag.Int64("seed", 1, "base random seed")
+		full  = flag.Bool("full", false, "paper scale (1000 steps, 3.16 TiB) instead of the fast reduced scale")
+		steps = flag.Int("steps", 0, "override profile length (0 = scale default)")
 	)
+	sc := registerScenarioFlags()
 	flag.Parse()
 
 	scale := scaleFor(*full, *steps)
@@ -91,12 +88,18 @@ func main() {
 	}
 	if all || *exp == "federated" {
 		matched = true
-		run("Federated — rigid trace + PSAs + evolving app across scheduler shards", func() error { return federated(*seed, *shards) })
+		run("Federated — rigid trace + PSAs + evolving app across scheduler shards", func() error { return federated(*seed, sc.shards) })
 	}
 	if all || *exp == "chaos" {
 		matched = true
 		run("Chaos — federated replay under seeded shard crash/recovery", func() error {
-			return chaosExp(*seed, *shards, *crashRate, *restartDelay)
+			return chaosExp(*seed, sc)
+		})
+	}
+	if all || *exp == "rebalance" {
+		matched = true
+		run("Rebalance — skewed federated workload with live cluster migration on/off", func() error {
+			return rebalanceExp(*seed, sc)
 		})
 	}
 	if !matched {
@@ -354,13 +357,76 @@ func federated(seed int64, maxShards int) error {
 	return nil
 }
 
+// scenarioOpts bundles the flags shared by the federated fault/rebalance
+// scenarios (-exp chaos and -exp rebalance build their configurations from
+// this one source, instead of each parsing its own copy).
+type scenarioOpts struct {
+	shards           int
+	crashRate        float64
+	restartDelay     float64
+	clustersPerShard int
+	hotFrac          float64
+	rebalInterval    float64
+	skewRatio        float64
+}
+
+// registerScenarioFlags declares the shared scenario flags on the default
+// flag set and returns the struct they populate.
+func registerScenarioFlags() *scenarioOpts {
+	sc := &scenarioOpts{}
+	flag.IntVar(&sc.shards, "shards", 4, "shard count (federated: maximum, swept in powers of two)")
+	flag.Float64Var(&sc.crashRate, "crash-rate", 2, "chaos: expected crashes per shard per simulated hour (0 disables faults)")
+	flag.Float64Var(&sc.restartDelay, "restart-delay", 180, "chaos: mean shard restart delay in simulated seconds")
+	flag.IntVar(&sc.clustersPerShard, "clusters-per-shard", 4, "rebalance: clusters initially partitioned onto each shard")
+	flag.Float64Var(&sc.hotFrac, "hot-frac", 0.75, "rebalance: fraction of the trace pinned to shard 0's clusters")
+	flag.Float64Var(&sc.rebalInterval, "rebalance-interval", 120, "rebalance: seconds between load checks")
+	flag.Float64Var(&sc.skewRatio, "skew-ratio", 2, "rebalance: migrate when the hottest shard exceeds this ratio of the coldest")
+	return sc
+}
+
+// chaosConfig builds the chaos-scenario configuration for one seed/policy;
+// rebalance additionally arms the cluster-migration loop, and skewed pins
+// the hot fraction of the trace onto shard 0's clusters.
+func (sc *scenarioOpts) chaosConfig(seed int64, pol federation.RecoveryPolicy, jobs []workload.Job, skewed, rebalance bool) experiments.ChaosReplayConfig {
+	mttf := 0.0 // -crash-rate 0 disables fault injection (chaos.Plan is empty for MTTF<=0)
+	if sc.crashRate > 0 {
+		mttf = 3600.0 / sc.crashRate
+	}
+	cfg := experiments.ChaosReplayConfig{
+		Jobs:          jobs,
+		Shards:        sc.shards,
+		NodesPerShard: 64,
+		PSATaskDur:    300,
+		Recovery:      pol,
+		Chaos: chaos.Config{
+			Seed:             seed,
+			MTTF:             mttf,
+			MeanRestartDelay: sc.restartDelay,
+			Horizon:          3 * 3600,
+		},
+	}
+	if skewed {
+		cfg.ClustersPerShard = sc.clustersPerShard
+		cfg.HotJobFraction = sc.hotFrac
+		cfg.NodesPerShard = 32
+	}
+	if rebalance {
+		cfg.Rebalance = &federation.RebalancerConfig{
+			Interval:  sc.rebalInterval,
+			SkewRatio: sc.skewRatio,
+		}
+	}
+	return cfg
+}
+
 // chaosExp replays one rigid trace through a sharded federation while a
 // seeded fault plan crashes and restarts shards, once per recovery policy
 // and seed. Same seed ⇒ identical row, including the event-stream hash (the
 // determinism contract of internal/chaos).
-func chaosExp(seed int64, shards int, crashRate, restartDelay float64) error {
-	if shards < 2 {
-		shards = 2
+func chaosExp(seed int64, sc *scenarioOpts) error {
+	opts := *sc
+	if opts.shards < 2 {
+		opts.shards = 2
 	}
 	jobs := workload.Synthetic(stats.NewRand(seed), workload.SyntheticConfig{
 		Jobs: 150, MaxNodes: 16, MeanInterArr: 60, MeanRuntime: 1200,
@@ -368,27 +434,11 @@ func chaosExp(seed int64, shards int, crashRate, restartDelay float64) error {
 	})
 	st := workload.Summarize(jobs)
 	fmt.Printf("trace: %d jobs, %.3g node·s, max %d nodes/job; %d shards, %.3g crashes/shard/h\n",
-		st.Jobs, st.TotalArea, st.MaxNodes, shards, crashRate)
-	mttf := 0.0 // -crash-rate 0 disables fault injection (chaos.Plan is empty for MTTF<=0)
-	if crashRate > 0 {
-		mttf = 3600.0 / crashRate
-	}
+		st.Jobs, st.TotalArea, st.MaxNodes, opts.shards, opts.crashRate)
 	var out [][]string
 	for _, pol := range []federation.RecoveryPolicy{federation.KillOnCrash, federation.RequeueOnCrash} {
 		for s := seed; s < seed+3; s++ {
-			res, err := experiments.RunChaosReplay(experiments.ChaosReplayConfig{
-				Jobs:          jobs,
-				Shards:        shards,
-				NodesPerShard: 64,
-				PSATaskDur:    300,
-				Recovery:      pol,
-				Chaos: chaos.Config{
-					Seed:             s,
-					MTTF:             mttf,
-					MeanRestartDelay: restartDelay,
-					Horizon:          3 * 3600,
-				},
-			})
+			res, err := experiments.RunChaosReplay(opts.chaosConfig(s, pol, jobs, false, false))
 			if err != nil {
 				return err
 			}
@@ -405,6 +455,62 @@ func chaosExp(seed int64, shards int, crashRate, restartDelay float64) error {
 	fmt.Print(experiments.FormatTable(
 		[]string{"policy", "seed", "crashes", "done", "killed", "rejected",
 			"requeued", "replayed", "dropped", "mean-wait-s", "makespan-s", "used-%", "event-hash"}, out))
+	return nil
+}
+
+// rebalanceExp replays one skewed rigid trace — the configured hot fraction
+// pinned to shard 0's clusters — with live cluster migration off and on,
+// with and without the chaos fault plan. The imbalance column is max/mean of
+// the per-shard end-state churn (1.00 = perfectly balanced); the event hash
+// pins determinism per row.
+func rebalanceExp(seed int64, sc *scenarioOpts) error {
+	opts := *sc
+	if opts.shards < 2 {
+		opts.shards = 2
+	}
+	if opts.clustersPerShard < 2 {
+		opts.clustersPerShard = 2
+	}
+	jobs := workload.Synthetic(stats.NewRand(seed), workload.SyntheticConfig{
+		Jobs: 150, MaxNodes: 16, MeanInterArr: 60, MeanRuntime: 1200,
+		PowerOfTwoBias: 0.5,
+	})
+	st := workload.Summarize(jobs)
+	fmt.Printf("trace: %d jobs, %.3g node·s, max %d nodes/job; %d shards × %d clusters, %.0f%% hot\n",
+		st.Jobs, st.TotalArea, st.MaxNodes, opts.shards, opts.clustersPerShard, 100*opts.hotFrac)
+	var out [][]string
+	for _, chaosOn := range []bool{false, true} {
+		for _, rebalance := range []bool{false, true} {
+			o := opts
+			if !chaosOn {
+				o.crashRate = 0
+			}
+			res, err := experiments.RunChaosReplay(o.chaosConfig(seed, federation.RequeueOnCrash, jobs, true, rebalance))
+			if err != nil {
+				return err
+			}
+			var maxChurn, sumChurn int64
+			for _, c := range res.ShardChurn {
+				sumChurn += c
+				if c > maxChurn {
+					maxChurn = c
+				}
+			}
+			imbalance := 1.0
+			if sumChurn > 0 {
+				imbalance = float64(maxChurn) * float64(len(res.ShardChurn)) / float64(sumChurn)
+			}
+			out = append(out, []string{
+				strconv.FormatBool(rebalance), strconv.Itoa(res.Crashes), strconv.Itoa(res.Migrations),
+				strconv.Itoa(res.MigratedRequests), strconv.Itoa(res.Completed),
+				f(res.MeanWait, 1), f(res.Makespan, 0), f(imbalance, 3),
+				f(100*res.UsedFraction, 2), fmt.Sprintf("%016x", res.EventHash),
+			})
+		}
+	}
+	fmt.Print(experiments.FormatTable(
+		[]string{"rebalance", "crashes", "migrations", "moved-reqs", "done",
+			"mean-wait-s", "makespan-s", "imbalance", "used-%", "event-hash"}, out))
 	return nil
 }
 

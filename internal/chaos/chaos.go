@@ -148,4 +148,3 @@ func (in *Injector) Restarts() int { return in.restarts }
 // InvariantErr returns the first invariant violation observed after a fault
 // (nil if none, or if CheckAfterFault was off).
 func (in *Injector) InvariantErr() error { return in.invErr }
-

@@ -71,6 +71,7 @@ type scratch struct {
 	inPA       view.View
 
 	// eqSchedule buffers.
+	occ      []int // indices of applications with non-nil occupancy
 	vocc     []view.View
 	clusters []view.ClusterID
 	cseen    map[view.ClusterID]bool

@@ -51,6 +51,12 @@ func eqScheduleScratch(apps []*AppState, vin view.View, t0 float64, policy Preem
 	sc.vocc = grown(sc.vocc, n)
 	vocc := sc.vocc
 	for i, a := range apps {
+		if a.P.Len() == 0 {
+			// No requests: toView and fit would be no-ops on an empty set
+			// and the subtraction below a full copy of vin for nothing.
+			vocc[i] = nil
+			continue
+		}
 		fixed := toViewScratch(a.P, vin, t0, sc)
 		avail := vin.Sub(fixed)
 		avail.MutClampMin(0)
@@ -61,6 +67,28 @@ func eqScheduleScratch(apps []*AppState, vin view.View, t0 float64, policy Preem
 			fixed.MutAdd(pending)
 		}
 		vocc[i] = fixed
+	}
+
+	// Applications that occupy nothing are interchangeable in the
+	// interval walk below: they request 0 nodes at every instant, so they
+	// neither join the water-filling nor change `active`, and all of them
+	// receive the identical hypothetical-share view (Alg. 3 lines 11–12:
+	// avail/(active+1)). Walk only the occupying applications plus — when
+	// at least one application is idle — one virtual idle slot, and share
+	// that slot's view among every idle application. With federated
+	// sessions connected to every shard (internal/federation.Connect) this
+	// keeps the walk proportional to the applications that actually hold
+	// or request preemptible resources on this shard.
+	sc.occ = sc.occ[:0]
+	for i := range apps {
+		if vocc[i] != nil {
+			sc.occ = append(sc.occ, i)
+		}
+	}
+	occ := sc.occ
+	nw := len(occ) // walked slots; slot nw is the virtual idle one, if any
+	if len(occ) < n {
+		nw++
 	}
 
 	// Gather every cluster mentioned by vin or any occupancy view.
@@ -78,8 +106,8 @@ func eqScheduleScratch(apps []*AppState, vin view.View, t0 float64, policy Preem
 	for cid := range vin {
 		addCluster(cid)
 	}
-	for _, v := range vocc {
-		for cid := range v {
+	for _, i := range occ {
+		for cid := range vocc[i] {
 			addCluster(cid)
 		}
 	}
@@ -87,27 +115,28 @@ func eqScheduleScratch(apps []*AppState, vin view.View, t0 float64, policy Preem
 	sort.Slice(clusters, func(i, j int) bool { return clusters[i] < clusters[j] })
 
 	// For each cluster, walk the piece-wise constant intervals (lines 4–27).
-	perApp := make([]view.View, n)
-	for i := range perApp {
-		perApp[i] = view.New()
+	perWalk := make([]view.View, nw)
+	for i := range perWalk {
+		perWalk[i] = view.New()
 	}
-	// One profile cursor per source: profs[0] tracks vin, profs[1+i]
-	// tracks application i's occupancy.
-	sc.profs = grown(sc.profs, n+1)
-	sc.cursor = grown(sc.cursor, n+1)
-	sc.val = grown(sc.val, n+1)
-	sc.req = grown(sc.req, n)
-	sc.share = grown(sc.share, n)
-	sc.need = grown(sc.need, n)
-	sc.grant = grown(sc.grant, n)
-	sc.builders = grown(sc.builders, n)
+	// One profile cursor per source: profs[0] tracks vin, profs[1+j]
+	// tracks walked slot j's occupancy (nil for the virtual idle slot).
+	sc.profs = grown(sc.profs, nw+1)
+	sc.cursor = grown(sc.cursor, nw+1)
+	sc.val = grown(sc.val, nw+1)
+	sc.req = grown(sc.req, nw)
+	sc.share = grown(sc.share, nw)
+	sc.need = grown(sc.need, nw)
+	sc.grant = grown(sc.grant, nw)
+	sc.builders = grown(sc.builders, nw)
+	var zero view.View
 	for _, cid := range clusters {
 		// Merge the breakpoints of vin and all occupancy profiles into one
 		// sorted, deduplicated slice (no per-cluster set allocation).
 		bps := append(sc.bps[:0], 0)
 		bps = vin.Get(cid).AppendBreakpoints(bps)
-		for _, v := range vocc {
-			bps = v.Get(cid).AppendBreakpoints(bps)
+		for _, i := range occ {
+			bps = vocc[i].Get(cid).AppendBreakpoints(bps)
 		}
 		sort.Float64s(bps)
 		dedup := bps[:1]
@@ -120,8 +149,11 @@ func eqScheduleScratch(apps []*AppState, vin view.View, t0 float64, policy Preem
 		bps = dedup
 
 		sc.profs[0] = vin.Get(cid)
-		for i, v := range vocc {
-			sc.profs[1+i] = v.Get(cid)
+		for j, i := range occ {
+			sc.profs[1+j] = vocc[i].Get(cid)
+		}
+		if nw > len(occ) {
+			sc.profs[1+len(occ)] = zero.Get(cid) // virtual idle slot
 		}
 		for i := range sc.cursor {
 			sc.cursor[i] = 0
@@ -151,7 +183,7 @@ func eqScheduleScratch(apps []*AppState, vin view.View, t0 float64, policy Preem
 			}
 			sum := 0
 			active := 0
-			for i := 0; i < n; i++ {
+			for i := 0; i < nw; i++ {
 				r := sc.val[1+i]
 				if r < 0 {
 					r = 0
@@ -163,22 +195,40 @@ func eqScheduleScratch(apps []*AppState, vin view.View, t0 float64, policy Preem
 				}
 			}
 			divideInterval(vinVal, sc.req, sum, active, policy, sc.share, sc.need, sc.grant)
-			for i := 0; i < n; i++ {
+			for i := 0; i < nw; i++ {
 				sc.builders[i].Append(t, sc.share[i])
 			}
 		}
-		for i := range perApp {
+		for i := range perWalk {
 			f := sc.builders[i].Fn()
 			if !f.IsZero() {
-				perApp[i][cid] = f
+				perWalk[i][cid] = f
 			}
 		}
 	}
+	var idle view.View // shared by every idle application
+	if nw > len(occ) {
+		idle = perWalk[nw-1]
+	}
 
 	// Reschedule all requests according to the computed views, so that
-	// ScheduledAt and NAlloc are set correctly (lines 28–30).
+	// ScheduledAt and NAlloc are set correctly (lines 28–30). Idle
+	// applications with no preemptible requests at all have nothing to
+	// reschedule and share the idle view's map (consumers treat pushed
+	// views as immutable).
+	j := 0
 	for i, a := range apps {
-		v := perApp[i]
+		var v view.View
+		if j < len(occ) && occ[j] == i {
+			v = perWalk[j]
+			j++
+		} else {
+			v = idle
+			if a.P.Len() == 0 {
+				out[a.ID] = v
+				continue
+			}
+		}
 		fixed := toViewScratch(a.P, v, t0, sc)
 		avail := v.Sub(fixed)
 		avail.MutClampMin(0)

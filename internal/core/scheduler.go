@@ -109,6 +109,30 @@ func (s *Scheduler) Clusters() map[view.ClusterID]int {
 // Capacity returns the node count of cluster cid.
 func (s *Scheduler) Capacity(cid view.ClusterID) int { return s.clusters[cid] }
 
+// AddCluster adds a cluster to the resource model, e.g. one migrated in from
+// another scheduler shard (internal/federation). The next Schedule round
+// includes its capacity in every view. Adding an existing cluster panics.
+func (s *Scheduler) AddCluster(cid view.ClusterID, n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("core: negative capacity for cluster %s", cid))
+	}
+	if _, dup := s.clusters[cid]; dup {
+		panic(fmt.Sprintf("core: duplicate cluster %s", cid))
+	}
+	s.clusters[cid] = n
+}
+
+// RemoveCluster removes a cluster from the resource model. The caller owns
+// the migration of any request state that references it: the scheduler keeps
+// no per-cluster state beyond the capacity entry (round scratch is rebuilt
+// every Schedule call). Removing an unknown cluster panics.
+func (s *Scheduler) RemoveCluster(cid view.ClusterID) {
+	if _, ok := s.clusters[cid]; !ok {
+		panic(fmt.Sprintf("core: removing unknown cluster %s", cid))
+	}
+	delete(s.clusters, cid)
+}
+
 // AddApp registers an application at the given connection time and returns
 // its state.
 func (s *Scheduler) AddApp(id int, connectedAt float64) *AppState {
@@ -227,7 +251,30 @@ func (s *Scheduler) Schedule(now float64) *Outcome {
 	if sc.inPA == nil {
 		sc.inPA = view.New()
 	}
+	// Applications with no PA and no ¬P requests neither take space nor
+	// change the running availability, so every one of them in a run of
+	// consecutive request-less applications sees the same view: compute it
+	// once per run and share the map (consumers treat pushed views as
+	// immutable). With federated sessions connected to every shard
+	// (internal/federation.Connect), most applications on a shard are
+	// request-less there, and this keeps the round cost proportional to the
+	// applications the shard actually schedules.
+	var idleViewNP view.View
 	for _, a := range s.apps {
+		if a.PA.Len() == 0 && a.NP.Len() == 0 {
+			if idleViewNP == nil {
+				vNPFree := vNP.ClampMin(0)
+				viewNP := view.View(nil).Add(vNPFree)
+				if s.clip != nil {
+					viewNP = viewNP.Clip(s.clip)
+				}
+				idleViewNP = viewNP.ClampMin(0)
+			}
+			out.NonPreemptViews[a.ID] = idleViewNP
+			continue
+		}
+		idleViewNP = nil // this application may change vNP below
+
 		// V_¬P^(i) = toView(R_PA) + V_¬P (line 7): the application sees its
 		// own pre-allocated space plus the globally free space.
 		vNPFree := vNP.ClampMin(0)

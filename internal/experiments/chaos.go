@@ -18,14 +18,32 @@ import (
 // ChaosReplayConfig parametrizes the chaos scenario: the federated rigid
 // trace + scavenging PSAs of RunFederatedReplay, with a seeded shard
 // crash/restart schedule injected on top and a recovery policy deciding the
-// fate of the affected sessions.
+// fate of the affected sessions. With ClustersPerShard > 1 it doubles as the
+// rebalancing scenario: HotJobFraction skews the trace onto shard 0's
+// clusters, and Rebalance arms a live cluster-migration loop on top of (or
+// instead of) the fault plan.
 type ChaosReplayConfig struct {
-	// Jobs is the rigid trace, assigned to shard clusters round-robin.
+	// Jobs is the rigid trace, assigned to clusters round-robin (see
+	// HotJobFraction for the skewed variant).
 	Jobs []workload.Job
-	// Shards is the scheduler shard count (one cluster per shard).
+	// Shards is the scheduler shard count.
 	Shards int
-	// NodesPerShard sizes each shard's cluster.
+	// NodesPerShard sizes each cluster. (Historically one cluster per shard,
+	// hence the name; with ClustersPerShard > 1 a shard's capacity is
+	// ClustersPerShard × NodesPerShard.)
 	NodesPerShard int
+	// ClustersPerShard is the number of clusters initially partitioned onto
+	// each shard; 0 or 1 selects the classic one-cluster-per-shard layout.
+	ClustersPerShard int
+	// HotJobFraction, in (0,1], pins that fraction of the trace onto the
+	// clusters initially owned by shard 0 — the load skew the rebalancer
+	// exists to dissolve. 0 spreads the trace over all clusters evenly.
+	HotJobFraction float64
+	// Rebalance, when non-nil, runs a federation.Rebalancer with this
+	// configuration for the whole replay. The federation invariant checker
+	// runs after every migration (on top of the per-fault checks) and any
+	// violation fails the run.
+	Rebalance *federation.RebalancerConfig
 	// PSATaskDur, when positive, adds one scavenging PSA per cluster.
 	PSATaskDur float64
 	// Recovery selects what happens to sessions whose shard crashes.
@@ -54,6 +72,17 @@ type ChaosReplayResult struct {
 
 	Crashes  int
 	Restarts int
+
+	// Migrations/MigratedRequests/MigrationTrace report the rebalancer's
+	// work (zero/empty when ChaosReplayConfig.Rebalance is nil).
+	Migrations       int
+	MigratedRequests int
+	MigrationTrace   []string
+	// ShardChurn is each shard's cumulative accepted-request churn at the
+	// end of the run, summed over the clusters it then owns (churn counters
+	// migrate with their cluster). The max/mean ratio across shards is the
+	// residual load imbalance.
+	ShardChurn []int64
 
 	// Fault-recovery counters over all applications (PSAs included).
 	KilledSessions   int
@@ -130,8 +159,14 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 	if cfg.Shards < 1 {
 		cfg.Shards = 1
 	}
+	if cfg.ClustersPerShard < 1 {
+		cfg.ClustersPerShard = 1
+	}
 	if cfg.NodesPerShard <= 0 {
 		return nil, fmt.Errorf("experiments: need a positive per-shard node count")
+	}
+	if cfg.HotJobFraction < 0 || cfg.HotJobFraction > 1 {
+		return nil, fmt.Errorf("experiments: HotJobFraction %g outside [0,1]", cfg.HotJobFraction)
 	}
 	if cfg.MaxSimTime <= 0 {
 		cfg.MaxSimTime = 1e9
@@ -160,8 +195,12 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 	})
 
 	clk := clock.SimClock{E: e}
-	clusters := make(map[view.ClusterID]int, cfg.Shards)
-	for i := 0; i < cfg.Shards; i++ {
+	// Cluster names sort in index order, so federation.Partition assigns
+	// cluster j to shard j % Shards: shard 0's initial clusters are exactly
+	// the indices ≡ 0 (mod Shards) — the "hot" set of the skewed trace.
+	totalClusters := cfg.Shards * cfg.ClustersPerShard
+	clusters := make(map[view.ClusterID]int, totalClusters)
+	for i := 0; i < totalClusters; i++ {
 		clusters[federatedCluster(i)] = cfg.NodesPerShard
 	}
 	clientRec := metrics.NewRecorder()
@@ -189,8 +228,31 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 	inj.CheckAfterFault = true
 	inj.Arm()
 
+	// Rebalancing runs as deterministic "rebalance.check" timer events on the
+	// shared clock, interleaving with the fault plan; the invariant checker
+	// runs after every migration exactly as it does after every fault.
+	var rb *federation.Rebalancer
+	var migErr error
+	if cfg.Rebalance != nil {
+		rcfg := *cfg.Rebalance
+		userHook := rcfg.OnMigration
+		rcfg.OnMigration = func(rep federation.MigrationReport) {
+			if userHook != nil {
+				userHook(rep)
+			}
+			if migErr == nil {
+				if err := fed.CheckInvariants(); err != nil {
+					migErr = fmt.Errorf("after %q: %w", rep.String(), err)
+				}
+			}
+		}
+		rb = federation.NewRebalancer(fed, rcfg)
+		rb.Start()
+		defer rb.Stop()
+	}
+
 	if cfg.PSATaskDur > 0 {
-		for i := 0; i < cfg.Shards; i++ {
+		for i := 0; i < totalClusters; i++ {
 			p := apps.NewPSA(clk, apps.PSAConfig{
 				Cluster: federatedCluster(i), TaskDuration: cfg.PSATaskDur, Metrics: clientRec,
 			})
@@ -202,7 +264,7 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 
 	res := &ChaosReplayResult{
 		Shards: cfg.Shards,
-		Nodes:  cfg.Shards * cfg.NodesPerShard,
+		Nodes:  totalClusters * cfg.NodesPerShard,
 		Policy: cfg.Recovery,
 	}
 	remaining := len(cfg.Jobs)
@@ -234,13 +296,21 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 
 	for i, j := range cfg.Jobs {
 		i, j := i, j
-		shard := i % cfg.Shards
+		// Deterministic skew: the configured fraction of the trace cycles
+		// over shard 0's initial clusters (indices ≡ 0 mod Shards), the rest
+		// over the whole cluster set.
+		var cluster int
+		if cfg.HotJobFraction > 0 && float64(i%100) < cfg.HotJobFraction*100 {
+			cluster = (i % cfg.ClustersPerShard) * cfg.Shards
+		} else {
+			cluster = i % totalClusters
+		}
 		n := j.Nodes
 		if n > cfg.NodesPerShard {
 			n = cfg.NodesPerShard
 		}
 		e.At(j.Submit, "chaos.submit", func() {
-			r := apps.NewRigid(clk, federatedCluster(shard), n, j.Runtime)
+			r := apps.NewRigid(clk, federatedCluster(cluster), n, j.Runtime)
 			w := &chaosRigid{Rigid: r}
 			w.settle = settleJob(w, j.Submit)
 			// Completion settles on the forwarded OnRequestFinished event,
@@ -278,6 +348,9 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 	if err := inj.InvariantErr(); err != nil {
 		return nil, fmt.Errorf("experiments: chaos invariant violated %w", err)
 	}
+	if migErr != nil {
+		return nil, fmt.Errorf("experiments: migration invariant violated %w", migErr)
+	}
 	if err := fed.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("experiments: post-run invariant violated: %w", err)
 	}
@@ -285,6 +358,17 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 	res.Crashes = inj.Crashes()
 	res.Restarts = inj.Restarts()
 	res.Trace = inj.Trace()
+	if rb != nil {
+		res.Migrations = rb.Migrations()
+		res.MigratedRequests = rb.MovedRequests()
+		res.MigrationTrace = rb.Trace()
+	}
+	res.ShardChurn = make([]int64, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		for _, l := range fed.Shard(i).ClusterLoads() {
+			res.ShardChurn[i] += l.Churn
+		}
+	}
 	res.KilledSessions = agg.TotalCount(metrics.KilledSessions)
 	res.RequeuedRequests = agg.TotalCount(metrics.RequeuedRequests)
 	res.ReplayedRequests = agg.TotalCount(metrics.ReplayedRequests)

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"coormv2/internal/chaos"
+	"coormv2/internal/federation"
+	"coormv2/internal/stats"
+	"coormv2/internal/workload"
+)
+
+// rebalanceTestConfig builds the skewed-workload scenario: 3 shards × 2
+// clusters, with 70% of the trace pinned to shard 0's clusters. With
+// rebalance on, a Rebalancer checks load once a simulated minute.
+func rebalanceTestConfig(seed int64, rebalance bool) ChaosReplayConfig {
+	jobs := workload.Synthetic(stats.NewRand(seed), workload.SyntheticConfig{
+		Jobs: 60, MaxNodes: 8, MeanInterArr: 45, MeanRuntime: 600,
+		PowerOfTwoBias: 0.5,
+	})
+	cfg := ChaosReplayConfig{
+		Jobs:             jobs,
+		Shards:           3,
+		ClustersPerShard: 2,
+		NodesPerShard:    16,
+		HotJobFraction:   0.7,
+		PSATaskDur:       120,
+		Recovery:         federation.RequeueOnCrash,
+	}
+	if rebalance {
+		cfg.Rebalance = &federation.RebalancerConfig{Interval: 60}
+	}
+	return cfg
+}
+
+// imbalance returns max/mean of the per-shard churn — 1.0 is a perfectly
+// balanced federation.
+func imbalance(churn []int64) float64 {
+	var max, sum int64
+	for _, c := range churn {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return float64(max) * float64(len(churn)) / float64(sum)
+}
+
+// TestRebalanceReplayDeterministic pins the migration machinery into the
+// determinism contract: same seed ⇒ byte-identical results including the
+// migration trace and the event-stream fingerprint.
+func TestRebalanceReplayDeterministic(t *testing.T) {
+	a, err := RunChaosReplay(rebalanceTestConfig(11, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaosReplay(rebalanceTestConfig(11, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\nrun1: %+v\nrun2: %+v", a, b)
+	}
+	if a.Migrations == 0 {
+		t.Fatal("skewed scenario migrated nothing; the determinism check is vacuous")
+	}
+	if len(a.MigrationTrace) != a.Migrations {
+		t.Fatalf("trace has %d lines for %d migrations", len(a.MigrationTrace), a.Migrations)
+	}
+}
+
+// TestRebalanceDissolvesSkew runs the skewed trace with rebalancing off and
+// on: both must complete every job, and rebalancing must leave the shard
+// loads measurably flatter (cluster churn counters migrate with their
+// cluster, so end-state per-shard churn reflects final ownership).
+func TestRebalanceDissolvesSkew(t *testing.T) {
+	off, err := RunChaosReplay(rebalanceTestConfig(11, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := RunChaosReplay(rebalanceTestConfig(11, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Completed != 60 || on.Completed != 60 {
+		t.Fatalf("completed off=%d on=%d, want 60/60", off.Completed, on.Completed)
+	}
+	if off.Migrations != 0 {
+		t.Fatalf("rebalance-off run migrated %d clusters", off.Migrations)
+	}
+	if on.Migrations == 0 {
+		t.Fatal("rebalance-on run migrated nothing under a 70% hot-shard skew")
+	}
+	offImb, onImb := imbalance(off.ShardChurn), imbalance(on.ShardChurn)
+	if onImb >= offImb {
+		t.Fatalf("rebalancing did not flatten load: imbalance off=%.3f on=%.3f (churn off=%v on=%v)",
+			offImb, onImb, off.ShardChurn, on.ShardChurn)
+	}
+}
+
+// TestChaosRebalanceMatrix is the chaos×migration matrix: seeded shard
+// crashes and live cluster migrations interleave on the same deterministic
+// event stream, under both recovery policies. Every run checks the
+// federation invariants after every fault *and* every migration (a crash
+// mid-topology-change must still leave each cluster placed exactly once),
+// and same-seed runs must be byte-identical.
+func TestChaosRebalanceMatrix(t *testing.T) {
+	migrations := 0
+	for _, pol := range []federation.RecoveryPolicy{federation.KillOnCrash, federation.RequeueOnCrash} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed=%d", pol, seed), func(t *testing.T) {
+				mk := func() ChaosReplayConfig {
+					cfg := rebalanceTestConfig(seed, true)
+					cfg.Recovery = pol
+					cfg.Chaos = chaos.Config{
+						Seed:             seed,
+						MTTF:             900,
+						MeanRestartDelay: 90,
+						Horizon:          2500,
+					}
+					return cfg
+				}
+				res, err := RunChaosReplay(mk())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Crashes == 0 {
+					t.Fatal("plan produced no crashes; matrix entry is vacuous")
+				}
+				if total := res.Completed + res.Killed + res.Rejected; total != 60 {
+					t.Fatalf("jobs unaccounted for: %d completed + %d killed + %d rejected != 60",
+						res.Completed, res.Killed, res.Rejected)
+				}
+				again, err := RunChaosReplay(mk())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(res, again) {
+					t.Fatalf("same seed diverged under chaos×migration:\nrun1: %+v\nrun2: %+v", res, again)
+				}
+				migrations += res.Migrations
+			})
+		}
+	}
+	if migrations == 0 {
+		t.Fatal("no matrix entry migrated a cluster; the chaos×migration interleaving is untested")
+	}
+}

@@ -117,12 +117,20 @@ type Config struct {
 // Federator routes application sessions across a set of rms.Server shards.
 type Federator struct {
 	shards   []*rms.Server
-	owner    map[view.ClusterID]int // cluster → shard index
 	clk      clock.Clock
 	recovery RecoveryPolicy
 	fedRec   *metrics.Recorder
 
+	// topoMu serializes topology transitions — CrashShard, RestartShard and
+	// MigrateCluster — against each other, so a migration can never observe a
+	// shard half-crashed (or vice versa). It is taken before f.mu and before
+	// any shard lock; nothing nests the other way. Handler callbacks never
+	// acquire it: applications re-entering the federator from a notification
+	// only use the session surface.
+	topoMu sync.Mutex
+
 	mu       sync.Mutex
+	owner    map[view.ClusterID]int // cluster → shard index; mutated by migration
 	nextApp  int
 	nextReq  request.ID
 	down     []bool           // per-shard crashed flag
@@ -224,8 +232,12 @@ func (f *Federator) NumShards() int { return len(f.shards) }
 // harness). Mutating it directly is not supported.
 func (f *Federator) Shard(i int) *rms.Server { return f.shards[i] }
 
-// Owner returns the index of the shard owning a cluster.
+// Owner returns the index of the shard currently owning a cluster. Ownership
+// is fixed at construction by Partition and changes only through
+// MigrateCluster.
 func (f *Federator) Owner(cid view.ClusterID) (int, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	i, ok := f.owner[cid]
 	return i, ok
 }
@@ -354,6 +366,8 @@ func (f *Federator) CrashShard(i int) CrashReport {
 	if i < 0 || i >= len(f.shards) {
 		panic(fmt.Sprintf("federation: CrashShard(%d) with %d shards", i, len(f.shards)))
 	}
+	f.topoMu.Lock()
+	defer f.topoMu.Unlock()
 	rep := CrashReport{Shard: i, Policy: f.recovery}
 	f.mu.Lock()
 	if f.down[i] {
@@ -413,6 +427,8 @@ func (f *Federator) RestartShard(i int) RestartReport {
 	if i < 0 || i >= len(f.shards) {
 		panic(fmt.Sprintf("federation: RestartShard(%d) with %d shards", i, len(f.shards)))
 	}
+	f.topoMu.Lock()
+	defer f.topoMu.Unlock()
 	rep := RestartReport{Shard: i}
 	f.mu.Lock()
 	if !f.down[i] {
@@ -443,13 +459,43 @@ func (f *Federator) RestartShard(i int) RestartReport {
 // passes its own accounting check, no shard hosts a session the federation
 // no longer knows (orphans), every live session is admitted to every
 // running shard, ID-translation tables are exact bijections with no leaked
-// entries, and replay queues exist only for crashed shards. It is the
-// federation half of the chaos harness's invariant checker.
+// entries, replay queues exist only for crashed shards, and cluster
+// ownership is an exact bijection — every shard hosts precisely the
+// clusters the owner table assigns it (no cluster owned by two shards, none
+// stranded by a migration), and every request mapping routes to the shard
+// owning its target cluster. It is the federation half of the chaos
+// harness's invariant checker, and runs after every fault and migration in
+// the chaos×migration matrix.
 func (f *Federator) CheckInvariants() error {
+	f.topoMu.Lock()
+	defer f.topoMu.Unlock()
 	f.mu.Lock()
 	down := append([]bool(nil), f.down...)
+	owner := make(map[view.ClusterID]int, len(f.owner))
+	for cid, i := range f.owner {
+		owner[cid] = i
+	}
 	sessions := f.sessionsLocked()
 	f.mu.Unlock()
+
+	// Cluster-ownership bijection. Down shards are included: a crash loses
+	// scheduler state, not ownership, and migrations never touch down shards.
+	hosted := 0
+	for i, sh := range f.shards {
+		for cid := range sh.Clusters() {
+			own, ok := owner[cid]
+			if !ok {
+				return fmt.Errorf("federation: shard %d hosts unknown cluster %q", i, cid)
+			}
+			if own != i {
+				return fmt.Errorf("federation: cluster %q hosted by shard %d but owned by shard %d", cid, i, own)
+			}
+			hosted++
+		}
+	}
+	if hosted != len(owner) {
+		return fmt.Errorf("federation: %d clusters owned but %d hosted", len(owner), hosted)
+	}
 
 	live := make(map[int]bool, len(sessions))
 	for _, sess := range sessions {
@@ -483,7 +529,7 @@ func (f *Federator) CheckInvariants() error {
 		}
 	}
 	for _, sess := range sessions {
-		if err := sess.checkInvariants(down); err != nil {
+		if err := sess.checkInvariants(down, owner); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,171 @@
+package federation
+
+import (
+	"fmt"
+
+	"coormv2/internal/metrics"
+	"coormv2/internal/request"
+	"coormv2/internal/view"
+)
+
+// Live cluster migration: MigrateCluster re-homes one cluster — capacity,
+// node-ID pool occupancy, and every session's requests on it — from the
+// shard that owns it to another running shard, as one atomic topology
+// transition. The donor's state is drained with rms.Server.DetachCluster,
+// re-admitted with AttachCluster on the target, and the sessions'
+// federated↔local ID tables are rewritten through the attach observe hook
+// (under the target's server lock, so no scheduling round can start a
+// migrated request before its mapping is in place — the same guarantee
+// RequestObserved gives fresh requests).
+//
+// Determinism: inside the simulator a migration runs within a single event
+// (the Rebalancer's "rebalance.check" timer), so request()/done() traffic is
+// naturally quiesced and same-seed runs replay identically, crashes
+// included — topoMu serializes migration against crash/restart under
+// clock.RealClock, where the same atomicity must be enforced rather than
+// inherited.
+
+// MigrationReport summarizes one live cluster migration.
+type MigrationReport struct {
+	Cluster view.ClusterID
+	From    int
+	To      int
+	// Apps counts the sessions whose requests moved with the cluster.
+	Apps int
+	// Requests counts the request mappings handed over (live + finished).
+	Requests int
+	// Nodes counts the node IDs that were held by migrated requests.
+	Nodes int
+}
+
+// String renders the report as one deterministic trace line.
+func (r MigrationReport) String() string {
+	return fmt.Sprintf("migrate cluster=%s from=%d to=%d apps=%d reqs=%d nodes=%d",
+		r.Cluster, r.From, r.To, r.Apps, r.Requests, r.Nodes)
+}
+
+// MigrateCluster moves cluster cid and all of its scheduler-side state to
+// shard `to`. It fails — leaving every shard untouched — if the cluster is
+// unknown, already owned by the target, the donor or target shard is down,
+// the donor would be left clusterless (rms.ErrLastCluster), or an
+// unfinished request on the cluster relates to a request on another donor
+// cluster (rms.ErrEntangled; migrating one side would create an unsupported
+// cross-shard relation). On success the owner table, the sessions' ID
+// tables and the merged views all reflect the new topology before the call
+// returns, and the cluster is placed exactly once: a failure after the
+// donor was drained re-attaches the snapshot to the donor.
+func (f *Federator) MigrateCluster(cid view.ClusterID, to int) (MigrationReport, error) {
+	if to < 0 || to >= len(f.shards) {
+		return MigrationReport{Cluster: cid, From: -1, To: to},
+			fmt.Errorf("federation: MigrateCluster(%q, %d) with %d shards", cid, to, len(f.shards))
+	}
+	f.topoMu.Lock()
+	defer f.topoMu.Unlock()
+
+	rep := MigrationReport{Cluster: cid, To: to}
+	f.mu.Lock()
+	from, ok := f.owner[cid]
+	rep.From = from
+	if !ok {
+		f.mu.Unlock()
+		return rep, fmt.Errorf("federation: unknown cluster %q", cid)
+	}
+	if from == to {
+		f.mu.Unlock()
+		return rep, fmt.Errorf("federation: cluster %q is already owned by shard %d", cid, to)
+	}
+	if f.down[from] || f.down[to] {
+		f.mu.Unlock()
+		return rep, fmt.Errorf("federation: cannot migrate %q from shard %d to %d: a shard is down", cid, from, to)
+	}
+	sessions := f.sessionsLocked()
+	f.mu.Unlock()
+
+	snap, err := f.shards[from].DetachCluster(cid)
+	if err != nil {
+		return rep, err
+	}
+	rep.Apps, rep.Requests, rep.Nodes = len(snap.Apps), snap.Requests(), snap.HeldNodes()
+
+	byID := make(map[int]*Session, len(sessions))
+	for _, sess := range sessions {
+		byID[sess.id] = sess
+	}
+	rewrite := func(dst int) func(appID int, oldID, newID request.ID) {
+		return func(appID int, oldID, newID request.ID) {
+			if sess := byID[appID]; sess != nil {
+				sess.migrateMapping(from, dst, oldID, newID)
+			}
+		}
+	}
+	if err := f.shards[to].AttachCluster(snap, rewrite(to)); err != nil {
+		// The donor is drained but the target refused (unreachable in the
+		// simulator — topoMu excludes a concurrent crash, and the down check
+		// above covered the rest). Exactly-once placement must hold even
+		// here: hand the snapshot back to the donor.
+		if rerr := f.shards[from].AttachCluster(snap, rewrite(from)); rerr != nil {
+			panic(fmt.Sprintf("federation: cluster %q lost in migration: %v (after %v)", cid, rerr, err))
+		}
+		return rep, err
+	}
+
+	f.mu.Lock()
+	f.owner[cid] = to
+	f.mu.Unlock()
+
+	// Strip the migrated cluster from every session's stored donor views —
+	// until the donor's next round pushes cid-less views, the stale copy
+	// would keep the cluster double-represented in merges — then deliver the
+	// re-merged result.
+	for _, sess := range sessions {
+		sess.noteClusterMoved(cid, from)
+	}
+	for _, sess := range sessions {
+		sess.pushMerged()
+	}
+	if f.fedRec != nil {
+		// Migrations are a federation-level event, recorded under the
+		// pseudo-application ID 0 (per-app MigratedRequests counters land on
+		// the target shard's recorder via AttachCluster).
+		f.fedRec.IncCounter(0, metrics.MigratedClusters, 1)
+	}
+	return rep, nil
+}
+
+// migrateMapping re-points one federated request mapping from its old
+// donor-local ID to its new ID on shard dst. Called under the attaching
+// shard's server lock (the sanctioned shard-lock → sess.mu nesting), so the
+// rewrite is visible before any scheduling round can notify about the
+// request.
+func (s *Session) migrateMapping(from, dst int, oldID, newID request.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fid, ok := s.fromLocal[from][oldID]
+	if !ok {
+		return
+	}
+	delete(s.fromLocal[from], oldID)
+	e := s.toLocal[fid]
+	if e == nil {
+		return
+	}
+	e.shard, e.id = dst, newID
+	s.fromLocal[dst][newID] = fid
+}
+
+// noteClusterMoved drops the migrated cluster from the session's stored
+// views of the donor shard and marks the merge dirty; the caller delivers
+// with pushMerged once the owner table is updated.
+func (s *Session) noteClusterMoved(cid view.ClusterID, from int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.killed {
+		return
+	}
+	for k := 0; k < 2; k++ {
+		if v := s.shardViews[from][k]; v != nil {
+			delete(v, cid)
+		}
+	}
+	s.viewsDirty = true
+}

@@ -1,0 +1,271 @@
+package federation
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"coormv2/internal/clock"
+	"coormv2/internal/metrics"
+	"coormv2/internal/request"
+	"coormv2/internal/rms"
+	"coormv2/internal/sim"
+	"coormv2/internal/view"
+)
+
+// newMigrateFederation builds a 2-shard federation over three clusters:
+// Partition assigns {alpha, gamma} to shard 0 and {beta} to shard 1.
+func newMigrateFederation(t *testing.T, pol RecoveryPolicy) (*sim.Engine, *Federator, *metrics.Recorder) {
+	t.Helper()
+	e := sim.NewEngine()
+	fedRec := metrics.NewRecorder()
+	f := New(Config{
+		Clusters:          map[view.ClusterID]int{cA: 8, cB: 8, cC: 8},
+		Shards:            2,
+		ReschedInterval:   1,
+		Clock:             clock.SimClock{E: e},
+		Recovery:          pol,
+		FederationMetrics: fedRec,
+		Metrics:           func(int) *metrics.Recorder { return metrics.NewRecorder() },
+	})
+	if s, _ := f.Owner(cA); s != 0 {
+		t.Fatalf("alpha on shard %d, want 0", s)
+	}
+	if s, _ := f.Owner(cC); s != 0 {
+		t.Fatalf("gamma on shard %d, want 0", s)
+	}
+	return e, f, fedRec
+}
+
+func TestMigrateClusterHandsOverLiveState(t *testing.T) {
+	e, f, fedRec := newMigrateFederation(t, KillOnCrash)
+	app, bystander := &testApp{}, &testApp{}
+	sess := f.Connect(app)
+	bsess := f.Connect(bystander)
+
+	np, err := sess.Request(rms.RequestSpec{Cluster: cC, N: 3, Duration: 1e6, Type: request.NonPreempt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := sess.Request(rms.RequestSpec{Cluster: cC, N: 2, Duration: 50, Type: request.NonPreempt,
+		RelatedHow: request.Next, RelatedTo: np})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bsess.Request(rms.RequestSpec{Cluster: cB, N: 1, Duration: math.Inf(1), Type: request.Preempt}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(3)
+	if len(app.starts) != 1 || app.starts[0].id != np {
+		t.Fatalf("starts before migration = %v, want [%d]", app.starts, np)
+	}
+
+	rep, err := f.MigrateCluster(cC, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.From != 0 || rep.To != 1 || rep.Requests != 2 || rep.Nodes != 3 || rep.Apps != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if s, _ := f.Owner(cC); s != 1 {
+		t.Fatalf("gamma owned by shard %d after migration, want 1", s)
+	}
+	mustCheck(t, f)
+	if got := fedRec.Count(0, metrics.MigratedClusters); got != 1 {
+		t.Errorf("migrated-clusters counter = %d, want 1", got)
+	}
+
+	// The running allocation finishes under its original federated ID — on
+	// the new shard — and the NEXT child starts there with inherited IDs.
+	if err := sess.Done(np, nil); err != nil {
+		t.Fatalf("done on migrated request: %v", err)
+	}
+	e.Run(e.Now() + 3)
+	started := false
+	for _, st := range app.starts {
+		if st.id == child && len(st.ids) == 2 {
+			started = true
+		}
+	}
+	if !started {
+		t.Fatalf("migrated NEXT child never started; starts = %v", app.starts)
+	}
+	mustCheck(t, f)
+
+	// Merged views keep the migrated cluster visible at full capacity once
+	// its allocations drain.
+	e.Run(e.Now() + 60)
+	nv, _ := bystander.lastViews(t)
+	if got := nv.Get(cC).Value(e.Now()); got != 8 {
+		t.Errorf("migrated cluster shows %d free nodes, want 8", got)
+	}
+
+	// New requests for the cluster route to the new owner.
+	id2, err := sess.Request(rms.RequestSpec{Cluster: cC, N: 1, Duration: 5, Type: request.NonPreempt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(e.Now() + 2)
+	if err := sess.Done(id2, nil); err != nil {
+		t.Fatal(err)
+	}
+	mustCheck(t, f)
+}
+
+func TestMigrateClusterErrors(t *testing.T) {
+	e, f, _ := newMigrateFederation(t, KillOnCrash)
+	sess := f.Connect(&testApp{})
+	px, err := sess.Request(rms.RequestSpec{Cluster: cA, N: 1, Duration: 1e6, Type: request.NonPreempt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Request(rms.RequestSpec{Cluster: cC, N: 1, Duration: 1e6, Type: request.NonPreempt,
+		RelatedHow: request.Coalloc, RelatedTo: px}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(3)
+
+	if _, err := f.MigrateCluster("nope", 1); err == nil {
+		t.Fatal("migrated an unknown cluster")
+	}
+	if _, err := f.MigrateCluster(cA, 0); err == nil || !strings.Contains(err.Error(), "already owned") {
+		t.Fatalf("same-shard migration = %v", err)
+	}
+	if _, err := f.MigrateCluster(cA, 5); err == nil {
+		t.Fatal("migrated to an out-of-range shard")
+	}
+	// alpha↔gamma are entangled by the live COALLOC.
+	if _, err := f.MigrateCluster(cC, 1); !errors.Is(err, rms.ErrEntangled) {
+		t.Fatalf("entangled migration = %v, want ErrEntangled", err)
+	}
+	// beta is shard 1's only cluster.
+	if _, err := f.MigrateCluster(cB, 0); !errors.Is(err, rms.ErrLastCluster) {
+		t.Fatalf("last-cluster migration = %v, want ErrLastCluster", err)
+	}
+	// Down shards refuse migrations in either direction.
+	f.CrashShard(1)
+	if _, err := f.MigrateCluster(cC, 1); err == nil || !strings.Contains(err.Error(), "down") {
+		t.Fatalf("migration to down shard = %v", err)
+	}
+	f.RestartShard(1)
+	mustCheck(t, f)
+}
+
+func TestMigrateThenCrashRequeueReplaysOnNewOwner(t *testing.T) {
+	e, f, _ := newMigrateFederation(t, RequeueOnCrash)
+	app := &testApp{}
+	sess := f.Connect(app)
+	id, err := sess.Request(rms.RequestSpec{Cluster: cC, N: 2, Duration: math.Inf(1), Type: request.NonPreempt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(3)
+
+	if _, err := f.MigrateCluster(cC, 1); err != nil {
+		t.Fatal(err)
+	}
+	mustCheck(t, f)
+
+	// The migrated request now lives on shard 1: crash it, and the request
+	// requeues and replays under the same federated ID.
+	rep := f.CrashShard(1)
+	if rep.Requeued != 1 {
+		t.Fatalf("crash requeued %d, want 1 (the migrated request)", rep.Requeued)
+	}
+	mustCheck(t, f)
+	rrep := f.RestartShard(1)
+	if rrep.Replayed != 1 {
+		t.Fatalf("restart replayed %d, want 1", rrep.Replayed)
+	}
+	e.Run(e.Now() + 3)
+	restarted := 0
+	for _, st := range app.starts {
+		if st.id == id {
+			restarted++
+		}
+	}
+	if restarted != 2 {
+		t.Fatalf("request %d started %d times, want 2 (original + replay)", id, restarted)
+	}
+	if err := sess.Done(id, nil); err != nil {
+		t.Fatal(err)
+	}
+	mustCheck(t, f)
+}
+
+// churnOn issues n short-lived preemptible request/done pairs on a cluster.
+func churnOn(t *testing.T, e *sim.Engine, sess *Session, cid view.ClusterID, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		id, err := sess.Request(rms.RequestSpec{Cluster: cid, N: 1, Duration: math.Inf(1), Type: request.Preempt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run(e.Now() + 0.01)
+		if err := sess.Done(id, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRebalancerMovesHotCluster(t *testing.T) {
+	run := func() (*Rebalancer, *Federator) {
+		e, f, _ := newMigrateFederation(t, KillOnCrash)
+		sess := f.Connect(&testApp{})
+		rb := NewRebalancer(f, RebalancerConfig{Interval: 5})
+		rb.Start()
+		// Skew shard 0: heavy churn on gamma, some on alpha, none on beta.
+		churnOn(t, e, sess, cC, 20)
+		churnOn(t, e, sess, cA, 5)
+		e.Run(e.Now() + 6) // past the first rebalance check
+		return rb, f
+	}
+	rb, f := run()
+	if rb.Migrations() != 1 {
+		t.Fatalf("migrations = %d, want 1; trace = %v", rb.Migrations(), rb.Trace())
+	}
+	if s, _ := f.Owner(cC); s != 1 {
+		t.Fatalf("hot cluster on shard %d after rebalance, want 1", s)
+	}
+	mustCheck(t, f)
+	if len(rb.Trace()) != 1 || !strings.Contains(rb.Trace()[0], "migrate cluster=gamma from=0 to=1") {
+		t.Fatalf("trace = %v", rb.Trace())
+	}
+	// A balanced federation stays put: subsequent checks migrate nothing.
+	rb2, _ := run()
+	if !reflect.DeepEqual(rb.Trace(), rb2.Trace()) {
+		t.Fatalf("same scenario, different traces:\n%v\n%v", rb.Trace(), rb2.Trace())
+	}
+	rb.Stop()
+}
+
+func TestRebalancerIdleFederationIsNotChurned(t *testing.T) {
+	e, f, _ := newMigrateFederation(t, KillOnCrash)
+	f.Connect(&testApp{})
+	rb := NewRebalancer(f, RebalancerConfig{Interval: 5})
+	rb.Start()
+	e.Run(60)
+	if rb.Migrations() != 0 {
+		t.Fatalf("idle federation migrated %d clusters: %v", rb.Migrations(), rb.Trace())
+	}
+	if rb.Checks() < 10 {
+		t.Fatalf("checks = %d, want ≥10 over 60s at interval 5", rb.Checks())
+	}
+	mustCheck(t, f)
+}
+
+func TestRebalancerSkipsDownShards(t *testing.T) {
+	e, f, _ := newMigrateFederation(t, RequeueOnCrash)
+	sess := f.Connect(&testApp{})
+	rb := NewRebalancer(f, RebalancerConfig{Interval: 5})
+	churnOn(t, e, sess, cC, 20)
+	f.CrashShard(1)
+	rb.CheckNow()
+	if rb.Migrations() != 0 {
+		t.Fatalf("migrated onto a down shard: %v", rb.Trace())
+	}
+	f.RestartShard(1)
+	mustCheck(t, f)
+}

@@ -1,0 +1,228 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"coormv2/internal/clock"
+	"coormv2/internal/view"
+)
+
+// Rebalancer watches per-shard load and migrates clusters off skewed shards.
+//
+// Load is observed per cluster through rms.Server.ClusterLoads: the score of
+// a cluster over one check interval is its request churn delta (accepted
+// request() operations since the last check — the counter also surfaces in
+// the metrics registry as metrics.ChurnRequests) plus its firm pool
+// occupancy (node IDs held by non-preemptible allocations; preemptible
+// holdings are reclaimable and would mask skew under scavenger PSAs that
+// fill every idle node); a shard's score is the sum over its clusters. When the
+// hottest shard's score exceeds SkewRatio times the coldest's, the
+// rebalancer migrates the hottest donor cluster whose move strictly narrows
+// the gap, via Federator.MigrateCluster. Clusters that cannot move —
+// entangled by live cross-cluster relations, or the donor's last cluster —
+// are skipped in favour of the next candidate.
+//
+// Checks run on the federation's clock ("rebalance.check" timer events), so
+// under clock.SimClock the whole rebalancing schedule is part of the
+// deterministic event stream: same seed, same migrations, same event
+// fingerprint. Down shards are excluded from both ends of a check; a shard
+// that crashed and restarted reports reset churn counters, which the delta
+// computation treats as a fresh baseline.
+type Rebalancer struct {
+	f   *Federator
+	cfg RebalancerConfig
+
+	mu       sync.Mutex
+	last     map[view.ClusterID]int64 // cumulative churn at the last check
+	timer    clock.Timer
+	started  bool
+	stopped  bool
+	checks   int
+	migrated int
+	requests int
+	trace    []string
+}
+
+// RebalancerConfig parametrizes a Rebalancer.
+type RebalancerConfig struct {
+	// Interval is the virtual (or wall) time between load checks; required.
+	Interval float64
+	// SkewRatio triggers a migration when the hottest shard's load score
+	// exceeds SkewRatio × the coldest's. Values below 1 select the default
+	// of 2 (a shard twice as loaded as the coldest is skewed).
+	SkewRatio float64
+	// MinLoad is the minimum donor score for a check to act at all, so an
+	// idle federation is never churned. Default 1.
+	MinLoad int64
+	// MaxMoves caps migrations per check. Default 1.
+	MaxMoves int
+	// OnMigration, when non-nil, observes every completed migration (the
+	// chaos×migration harness hooks its invariant checker here). It must not
+	// call back into the Rebalancer.
+	OnMigration func(MigrationReport)
+}
+
+// NewRebalancer creates a rebalancer for the federation. Call Start to arm
+// the periodic check.
+func NewRebalancer(f *Federator, cfg RebalancerConfig) *Rebalancer {
+	if cfg.Interval <= 0 {
+		panic("federation: RebalancerConfig.Interval must be positive")
+	}
+	if cfg.SkewRatio < 1 {
+		cfg.SkewRatio = 2
+	}
+	if cfg.MinLoad <= 0 {
+		cfg.MinLoad = 1
+	}
+	if cfg.MaxMoves <= 0 {
+		cfg.MaxMoves = 1
+	}
+	return &Rebalancer{f: f, cfg: cfg, last: make(map[view.ClusterID]int64)}
+}
+
+// Start arms the periodic load check; the first one fires one Interval from
+// now. Start is idempotent and a no-op after Stop.
+func (rb *Rebalancer) Start() {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.started || rb.stopped {
+		return
+	}
+	rb.started = true
+	rb.armLocked()
+}
+
+func (rb *Rebalancer) armLocked() {
+	rb.timer = rb.f.clk.AfterFunc(rb.cfg.Interval, "rebalance.check", rb.tick)
+}
+
+// Stop cancels the periodic check permanently.
+func (rb *Rebalancer) Stop() {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	rb.stopped = true
+	if rb.timer != nil {
+		rb.timer.Stop()
+		rb.timer = nil
+	}
+}
+
+func (rb *Rebalancer) tick() {
+	rb.CheckNow()
+	rb.mu.Lock()
+	if !rb.stopped {
+		rb.armLocked()
+	}
+	rb.mu.Unlock()
+}
+
+// Checks returns the number of load checks performed.
+func (rb *Rebalancer) Checks() int { rb.mu.Lock(); defer rb.mu.Unlock(); return rb.checks }
+
+// Migrations returns the number of completed cluster migrations.
+func (rb *Rebalancer) Migrations() int { rb.mu.Lock(); defer rb.mu.Unlock(); return rb.migrated }
+
+// MovedRequests returns the total request mappings handed over so far.
+func (rb *Rebalancer) MovedRequests() int { rb.mu.Lock(); defer rb.mu.Unlock(); return rb.requests }
+
+// Trace returns one deterministic line per completed migration, in order.
+func (rb *Rebalancer) Trace() []string {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return append([]string(nil), rb.trace...)
+}
+
+// CheckNow runs one load check immediately (the timer path calls it every
+// Interval; tests and benchmark warm-ups may call it directly).
+func (rb *Rebalancer) CheckNow() {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	rb.checks++
+
+	type cand struct {
+		cid   view.ClusterID
+		score int64
+	}
+	n := rb.f.NumShards()
+	scores := make([]int64, n)
+	running := make([]bool, n)
+	clusters := make([][]cand, n)
+	for i := 0; i < n; i++ {
+		if rb.f.ShardDown(i) {
+			continue
+		}
+		loads := rb.f.Shard(i).ClusterLoads()
+		if loads == nil { // crashed between the down check and the read
+			continue
+		}
+		running[i] = true
+		for _, l := range loads {
+			d := l.Churn - rb.last[l.Cluster]
+			if d < 0 {
+				// The shard restarted since the last check and its counters
+				// reset; treat the current value as a fresh baseline.
+				d = l.Churn
+			}
+			rb.last[l.Cluster] = l.Churn
+			score := d + int64(l.Firm)
+			scores[i] += score
+			clusters[i] = append(clusters[i], cand{l.Cluster, score})
+		}
+	}
+
+	for moves := 0; moves < rb.cfg.MaxMoves; moves++ {
+		donor, target := -1, -1
+		for i := 0; i < n; i++ {
+			if !running[i] {
+				continue
+			}
+			if target < 0 || scores[i] < scores[target] {
+				target = i
+			}
+			// Only shards with at least two clusters can donate.
+			if len(clusters[i]) >= 2 && (donor < 0 || scores[i] > scores[donor]) {
+				donor = i
+			}
+		}
+		if donor < 0 || target < 0 || donor == target {
+			return
+		}
+		gap := scores[donor] - scores[target]
+		if scores[donor] < rb.cfg.MinLoad || float64(scores[donor]) <= rb.cfg.SkewRatio*float64(scores[target]) {
+			return
+		}
+		// Hottest candidate first; ClusterLoads order makes ties resolve by
+		// ascending cluster ID, so candidate order is deterministic. A move
+		// must strictly narrow the gap: 0 < score < gap.
+		sort.SliceStable(clusters[donor], func(a, b int) bool {
+			return clusters[donor][a].score > clusters[donor][b].score
+		})
+		moved := false
+		for ci, c := range clusters[donor] {
+			if c.score <= 0 || c.score >= gap {
+				continue
+			}
+			rep, err := rb.f.MigrateCluster(c.cid, target)
+			if err != nil {
+				continue // entangled or racing topology change: next candidate
+			}
+			rb.migrated++
+			rb.requests += rep.Requests
+			rb.trace = append(rb.trace, fmt.Sprintf("t=%.6f %s", rb.f.Now(), rep))
+			if rb.cfg.OnMigration != nil {
+				rb.cfg.OnMigration(rep)
+			}
+			scores[donor] -= c.score
+			scores[target] += c.score
+			clusters[donor] = append(clusters[donor][:ci], clusters[donor][ci+1:]...)
+			clusters[target] = append(clusters[target], c)
+			moved = true
+			break
+		}
+		if !moved {
+			return
+		}
+	}
+}

@@ -93,11 +93,25 @@ func (s *Session) AppID() int { return s.id }
 // is queued and replayed when the shard restarts (the ID is returned
 // immediately); under KillOnCrash it fails.
 func (s *Session) Request(spec rms.RequestSpec) (request.ID, error) {
-	shard, ok := s.f.owner[spec.Cluster]
+	shard, ok := s.f.Owner(spec.Cluster)
 	if !ok {
 		return 0, fmt.Errorf("rms: unknown cluster %q", spec.Cluster)
 	}
+	id, err := s.requestOn(shard, spec)
+	if err != nil {
+		// A live migration may have re-homed the cluster between the routing
+		// decision and the shard call (real clock only — simulator events
+		// are atomic), making the old owner reject its own cluster. Retry
+		// once against the new owner.
+		if cur, ok := s.f.Owner(spec.Cluster); ok && cur != shard {
+			return s.requestOn(cur, spec)
+		}
+	}
+	return id, err
+}
 
+// requestOn submits the request to one specific shard.
+func (s *Session) requestOn(shard int, spec rms.RequestSpec) (request.ID, error) {
 	s.mu.Lock()
 	if s.killed {
 		s.mu.Unlock()
@@ -193,17 +207,31 @@ func (s *Session) Done(id request.ID, released []int) error {
 		s.notifyWithdrawn(id)
 		return nil
 	}
-	sub := s.subs[e.shard]
+	shard := e.shard
+	sub := s.subs[shard]
 	if sub == nil {
 		// Unreachable in the simulator: a crash either queued or purged
 		// every mapping on the dead shard. Real-clock race fallback.
 		s.mu.Unlock()
-		return fmt.Errorf("federation: shard %d is down", e.shard)
+		return fmt.Errorf("federation: shard %d is down", shard)
 	}
 	lid := e.id
 	s.mu.Unlock()
 	if err := sub.Done(lid, released); err != nil {
-		return s.translateErr(e.shard, err)
+		// A live migration may have re-homed the request mid-operation
+		// (real clock only): the mapping now points at another shard-local
+		// ID. Retry once against the rewritten mapping.
+		s.mu.Lock()
+		shard2, lid2, queued := e.shard, e.id, e.queued
+		sub2 := s.subs[shard2]
+		s.mu.Unlock()
+		if (shard2 != shard || lid2 != lid) && !queued && sub2 != nil {
+			if err2 := sub2.Done(lid2, released); err2 != nil {
+				return s.translateErr(shard2, err2)
+			}
+			return nil
+		}
+		return s.translateErr(shard, err)
 	}
 	return nil
 }
@@ -535,14 +563,20 @@ func (s *Session) deliverViewsLocked() {
 
 // checkInvariants verifies the session's translation tables against the
 // shard topology: live mappings form an exact bijection with the reverse
-// tables, nothing references a down shard except queued entries, and replay
-// queues agree with the table's queued set.
-func (s *Session) checkInvariants(down []bool) error {
+// tables, nothing references a down shard except queued entries, every
+// mapping routes to the shard owning its target cluster (no orphaned
+// mappings after a migration hand-over), and replay queues agree with the
+// table's queued set.
+func (s *Session) checkInvariants(down []bool, owner map[view.ClusterID]int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	queued := make([]int, len(s.queues))
 	total := 0
 	for fid, e := range s.toLocal {
+		if own, ok := owner[e.spec.Cluster]; !ok || own != e.shard {
+			return fmt.Errorf("federation: app %d request %d maps to shard %d but cluster %q is owned by shard %d",
+				s.id, fid, e.shard, e.spec.Cluster, own)
+		}
 		if e.queued {
 			if !down[e.shard] {
 				return fmt.Errorf("federation: app %d request %d queued for running shard %d", s.id, fid, e.shard)
@@ -622,7 +656,12 @@ func (s *Session) mergedLocked() (np, p view.View) {
 		}
 		return v[0], v[1]
 	}
-	np, p = view.New(), view.New()
+	nNP, nP := 0, 0
+	for _, sv := range s.shardViews {
+		nNP += len(sv[0])
+		nP += len(sv[1])
+	}
+	np, p = make(view.View, nNP), make(view.View, nP)
 	for _, sv := range s.shardViews {
 		for cid, f := range sv[0] {
 			np[cid] = f

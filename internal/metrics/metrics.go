@@ -54,6 +54,18 @@ const (
 	// shard: done() while queued, a failed replay, or an unresolvable
 	// relation after the crash.
 	DroppedRequests
+	// ChurnRequests counts accepted request() operations. Recorded by the RMS
+	// per application; summed over a shard recorder it is the shard's request
+	// churn, one of the two load signals the federation rebalancer acts on
+	// (the other is pool occupancy, see TotalCurrent).
+	ChurnRequests
+	// MigratedRequests counts request mappings handed over to another shard
+	// by a live cluster migration (internal/federation.MigrateCluster).
+	MigratedRequests
+	// MigratedClusters counts live cluster migrations. The federation records
+	// it under application ID 0 — the pseudo-app standing for the federation
+	// itself, since a migration is not attributable to one application.
+	MigratedClusters
 
 	numCounters
 )
@@ -69,6 +81,12 @@ func (c Counter) String() string {
 		return "replayed-requests"
 	case DroppedRequests:
 		return "dropped-requests"
+	case ChurnRequests:
+		return "churn-requests"
+	case MigratedRequests:
+		return "migrated-requests"
+	case MigratedClusters:
+		return "migrated-clusters"
 	default:
 		return fmt.Sprintf("Counter(%d)", uint8(c))
 	}
@@ -200,6 +218,19 @@ func (r *Recorder) Current(appID int) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.track(appID).cur
+}
+
+// TotalCurrent returns the allocation summed over all applications as of
+// their last SetAlloc — on a per-shard recorder, the shard's current pool
+// occupancy, the second load signal of the federation rebalancer.
+func (r *Recorder) TotalCurrent() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := 0
+	for _, tr := range r.apps {
+		s += tr.cur
+	}
+	return s
 }
 
 // TotalArea returns the node·seconds consumed by all applications up to t.

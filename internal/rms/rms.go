@@ -97,6 +97,12 @@ type Server struct {
 
 	pools map[view.ClusterID]*idPool
 
+	// churn counts accepted request() operations per cluster — the per-cluster
+	// load signal behind federation.Rebalancer donor selection. A cluster's
+	// counter migrates with it (DetachCluster/AttachCluster) so deltas stay
+	// meaningful across shards.
+	churn map[view.ClusterID]int64
+
 	schedPending bool
 	schedTimer   clock.Timer
 	wakeTimer    clock.Timer
@@ -153,6 +159,7 @@ func (s *Server) initStateLocked() {
 	s.lastViews = make(map[int][2]view.View)
 	s.deficitSince = make(map[int]float64)
 	s.pools = make(map[view.ClusterID]*idPool, len(s.cfg.Clusters))
+	s.churn = make(map[view.ClusterID]int64, len(s.cfg.Clusters))
 	for cid, n := range s.cfg.Clusters {
 		s.pools[cid] = newIDPool(n)
 	}
@@ -425,6 +432,10 @@ func (sess *Session) RequestObserved(spec RequestSpec, observe func(request.ID))
 		return 0, err
 	}
 	sess.app.SetFor(spec.Type).Add(r)
+	s.churn[spec.Cluster]++
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.IncCounter(sess.app.ID, metrics.ChurnRequests, 1)
+	}
 	if observe != nil {
 		observe(id)
 	}

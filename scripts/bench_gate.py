@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Fail CI when a benchmark regresses versus the merge-base.
+
+Reads two `go test -bench` outputs (base, head), takes the per-benchmark
+median of ns/op and allocs/op over the repeated -count runs, and exits
+non-zero if any benchmark present in BOTH files got slower (ns/op) or more
+allocation-hungry (allocs/op) by more than --max-regression percent.
+benchstat renders the human-readable comparison in the CI log; this gate is
+deliberately version-independent of benchstat's output format.
+
+Usage: bench_gate.py base.txt head.txt [--max-regression 10]
+"""
+
+import argparse
+import re
+import statistics
+import sys
+
+# BenchmarkName-8   	    2000	   123456 ns/op	  1234 B/op	  12 allocs/op	 456 requests/s
+LINE = re.compile(
+    r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)$"
+)
+ALLOCS = re.compile(r"([\d.]+) allocs/op")
+
+
+def parse(path):
+    runs = {}
+    with open(path) as f:
+        for line in f:
+            m = LINE.match(line.strip())
+            if not m:
+                continue
+            name, ns, rest = m.group(1), float(m.group(2)), m.group(3)
+            entry = runs.setdefault(name, {"ns/op": [], "allocs/op": []})
+            entry["ns/op"].append(ns)
+            am = ALLOCS.search(rest)
+            if am:
+                entry["allocs/op"].append(float(am.group(1)))
+    return {
+        name: {
+            metric: statistics.median(vals)
+            for metric, vals in metrics.items()
+            if vals
+        }
+        for name, metrics in runs.items()
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("base")
+    ap.add_argument("head")
+    ap.add_argument("--max-regression", type=float, default=10.0,
+                    help="tolerated slowdown in percent (default 10)")
+    args = ap.parse_args()
+
+    base, head = parse(args.base), parse(args.head)
+    shared = sorted(set(base) & set(head))
+    if not shared:
+        print("bench_gate: no common benchmarks between base and head; nothing to gate")
+        return 0
+
+    failed = False
+    for name in shared:
+        for metric in ("ns/op", "allocs/op"):
+            if metric not in base[name] or metric not in head[name]:
+                continue
+            b, h = base[name][metric], head[name][metric]
+            if b <= 0:
+                continue
+            delta = (h - b) / b * 100.0
+            verdict = "ok"
+            if delta > args.max_regression:
+                verdict = "REGRESSION"
+                failed = True
+            print(f"{name:60s} {metric:10s} {b:14.1f} -> {h:14.1f}  {delta:+7.2f}%  {verdict}")
+    if failed:
+        print(f"\nbench_gate: regression beyond {args.max_regression:.0f}% "
+              f"on the benchmarks above", file=sys.stderr)
+        return 1
+    print(f"\nbench_gate: all shared benchmarks within {args.max_regression:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
