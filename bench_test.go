@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"coormv2/internal/amr"
 	"coormv2/internal/apps"
@@ -138,23 +140,28 @@ func BenchmarkFig11Filling(b *testing.B) {
 	}
 }
 
-// BenchmarkSchedulerThroughput measures scheduling rounds over a live
-// request mix, reporting requests scheduled per second — the §3.2 claim is
-// ≈500 requests/second on one core of a 2009-era Core 2 Duo.
-func BenchmarkSchedulerThroughput(b *testing.B) {
-	const cid = view.ClusterID("c0")
-	s := core.NewScheduler(map[view.ClusterID]int{cid: 4096})
-	// 50 applications with a pre-allocation, a running non-preemptible
-	// request, a pending update and a preemptible request each.
+// benchFleetCluster is the cluster used by the scheduler benchmarks below.
+const benchFleetCluster = view.ClusterID("c0")
+
+// buildBenchFleet constructs the canonical scheduler-benchmark fleet: 50
+// applications on one 4096-node cluster, each with a started
+// pre-allocation, a running non-preemptible request, a pending NEXT update
+// and a started preemptible request. The three scheduler benchmarks share
+// it so the cached / one-dirty / from-scratch comparison in PERFORMANCE.md
+// stays apples-to-apples. It returns the scheduler, the applications, a
+// request-ID cursor for submitting more, and the standing request count.
+func buildBenchFleet() (*core.Scheduler, []*core.AppState, *request.ID, int) {
+	s := core.NewScheduler(map[view.ClusterID]int{benchFleetCluster: 4096})
 	reqID := request.ID(1)
 	mk := func(app *core.AppState, n int, dur float64, typ request.Type, how request.Relation, parent *request.Request) *request.Request {
-		r := request.New(reqID, app.ID, cid, n, dur, typ, how, parent)
+		r := request.New(reqID, app.ID, benchFleetCluster, n, dur, typ, how, parent)
 		reqID++
 		app.SetFor(typ).Add(r)
 		return r
 	}
+	apps := make([]*core.AppState, 50)
 	totalReqs := 0
-	for i := 0; i < 50; i++ {
+	for i := range apps {
 		a := s.AddApp(i+1, float64(i))
 		pa := mk(a, 16, 1e6, request.PreAlloc, request.Free, nil)
 		pa.StartedAt = 0
@@ -163,8 +170,16 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 		mk(a, 12, 1e5, request.NonPreempt, request.Next, np)
 		p := mk(a, 4, math.Inf(1), request.Preempt, request.Free, nil)
 		p.StartedAt = 0
+		apps[i] = a
 		totalReqs += 4
 	}
+	return s, apps, &reqID, totalReqs
+}
+
+// runSchedulerThroughput drives repeated rounds over the standing fleet.
+func runSchedulerThroughput(b *testing.B, incremental bool) {
+	s, _, _, totalReqs := buildBenchFleet()
+	s.SetIncremental(incremental)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out := s.Schedule(float64(i))
@@ -175,6 +190,55 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	b.StopTimer()
 	reqPerSec := float64(totalReqs) * float64(b.N) / b.Elapsed().Seconds()
 	b.ReportMetric(reqPerSec, "requests/s")
+}
+
+// BenchmarkSchedulerThroughput measures scheduling rounds over a live
+// request mix, reporting requests scheduled per second — the §3.2 claim is
+// ≈500 requests/second on one core of a 2009-era Core 2 Duo. With the
+// standing fleet unchanged between rounds, this is the fully-cached steady
+// state of the incremental scheduler.
+func BenchmarkSchedulerThroughput(b *testing.B) { runSchedulerThroughput(b, true) }
+
+// BenchmarkSchedulerThroughputFull is BenchmarkSchedulerThroughput with
+// incremental recomputation disabled: every round recomputes the whole
+// fleet from scratch. The pair separates "cost of a from-scratch round"
+// (this benchmark, the pre-incremental baseline) from "cost of a round
+// when nothing changed" (the cached steady state above).
+func BenchmarkSchedulerThroughputFull(b *testing.B) { runSchedulerThroughput(b, false) }
+
+// BenchmarkIncrementalReschedule measures the incremental hot path the way
+// the RMS drives it: the same standing fleet, but each round one rotating
+// application submits a short preemptible request, the next round starts
+// it, the one after finishes and reaps it — so every round carries exactly
+// one dirty application and the scheduler reuses everything else. This is
+// the per-arrival round cost the federated throughput benchmarks pay on
+// the shard owning the churn.
+func BenchmarkIncrementalReschedule(b *testing.B) {
+	s, apps, reqID, _ := buildBenchFleet()
+	s.Schedule(0) // warm the caches
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := float64(i + 1)
+		a := apps[i%len(apps)]
+		r := request.New(*reqID, a.ID, benchFleetCluster, 1, 0.4, request.Preempt, request.Free, nil)
+		*reqID++
+		a.P.Add(r)
+		s.MarkAppDirty(a.ID)
+		out := s.Schedule(now)
+		if len(out.PreemptViews) != 50 {
+			b.Fatal("lost applications")
+		}
+		r.StartedAt = now
+		s.MarkAppDirty(a.ID)
+		s.Schedule(now)
+		r.Finished = true
+		a.P.Remove(r)
+		s.MarkAppDirty(a.ID)
+		s.Schedule(now + 0.5)
+	}
+	b.StopTimer()
+	// Rounds per second: three rounds per iteration.
+	b.ReportMetric(3*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
 }
 
 // inertApp discards all notifications.
@@ -427,6 +491,81 @@ func BenchmarkFederatedThroughputParallel(b *testing.B) {
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "requests/s")
 		})
 	}
+}
+
+// BenchmarkMigrationBackpressure measures the tail latency of racing
+// request()/done() calls during sustained live-migration churn under
+// clock.RealClock (the ROADMAP "migration under RealClock back-pressure"
+// item): a background goroutine ping-pongs one cluster between two shards
+// as fast as MigrateCluster allows while the measured session issues
+// request/done pairs against that exact cluster. Every operation that
+// lands mid-migration walks the bounded retry path
+// (federation.migrateRetryBudget); p99 and max per-op latency are reported
+// so a retry pile-up is visible as a tail, not hidden in the mean. Skipped
+// under -short and on single-core runners (no concurrent migrator there).
+func BenchmarkMigrationBackpressure(b *testing.B) {
+	if testing.Short() {
+		b.Skip("real-clock migration benchmark; skipped under -short")
+	}
+	if runtime.GOMAXPROCS(0) < 2 {
+		b.Skip("needs >1 core for a concurrent migrator")
+	}
+	clusters := map[view.ClusterID]int{
+		"c00": 16, "c01": 16, "c02": 16, "c03": 16,
+	}
+	fed := federation.New(federation.Config{
+		Clusters:        clusters,
+		Shards:          2,
+		ReschedInterval: 0.001,
+		GracePeriod:     1e18,
+		Clock:           clock.NewRealClock(),
+	})
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var migrations int64
+	go func() {
+		defer close(done)
+		target := 1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := fed.MigrateCluster("c00", target); err == nil {
+				atomic.AddInt64(&migrations, 1)
+				target = 1 - target
+			}
+		}
+	}()
+	sess := fed.Connect(inertApp{})
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		id, err := sess.Request(rms.RequestSpec{
+			Cluster: "c00", N: 1, Duration: math.Inf(1), Type: request.Preempt,
+		})
+		if err != nil {
+			b.Fatalf("request during migration churn: %v", err)
+		}
+		if err := sess.Done(id, nil); err != nil {
+			b.Fatalf("done during migration churn: %v", err)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	p99 := len(lat) * 99 / 100
+	if p99 >= len(lat) {
+		p99 = len(lat) - 1
+	}
+	b.ReportMetric(us(lat[p99]), "p99-us/op")
+	b.ReportMetric(us(lat[len(lat)-1]), "max-us/op")
+	b.ReportMetric(float64(atomic.LoadInt64(&migrations)), "migrations")
 }
 
 // BenchmarkChaosReplay runs the chaos scenario per iteration: a 60-job

@@ -7,6 +7,7 @@
 //
 //	coormd -listen :7777 -cluster main=128 -cluster gpu=16 -interval 1
 //	coormd -cluster a=64 -cluster b=64 -cluster c=64 -shards 3 -workers 32
+//	coormd -cluster a=64 -pprof 127.0.0.1:6060   # live profiling side listener
 //
 // With -shards > 1 the daemon runs a federated RMS: the cluster set is
 // partitioned across that many independent scheduler shards and every
@@ -18,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -64,12 +67,24 @@ func main() {
 		strict   = flag.Bool("strict", false, "use strict equi-partitioning instead of filling")
 		shards   = flag.Int("shards", 1, "scheduler shards; >1 federates the cluster set across independent schedulers")
 		workers  = flag.Int("workers", 0, "admission limit: max concurrently served application sessions; further connections wait unserved until one ends (0 = unlimited)")
+		pprofOn  = flag.String("pprof", "", "side listener for net/http/pprof (e.g. 127.0.0.1:6060; empty = off), so scheduling hot paths can be profiled against the live daemon")
 	)
 	flag.Var(clusters, "cluster", "cluster as name=nodes (repeatable)")
 	flag.Parse()
 
 	if len(clusters) == 0 {
 		clusters["default"] = 64
+	}
+	if *pprofOn != "" {
+		// net/http/pprof registers its handlers on the default mux; serve
+		// it on a dedicated side listener so profiling endpoints are never
+		// exposed on the RMS protocol port.
+		go func() {
+			log.Printf("coormd: pprof listening on http://%s/debug/pprof/", *pprofOn)
+			if err := http.ListenAndServe(*pprofOn, nil); err != nil {
+				log.Printf("coormd: pprof listener failed: %v", err)
+			}
+		}()
 	}
 	policy := core.EquiPartitionFilling
 	if *strict {

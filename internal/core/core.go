@@ -66,9 +66,18 @@ type scratch struct {
 	q reqQueue
 
 	// Schedule round accumulators.
-	startedPAs []view.View
-	startedNPs []view.View
-	inPA       view.View
+	inPA view.View
+
+	// Incremental-recomputation buffers. paScratch/npScratch alternate with
+	// the per-app cached rect lists (capture into scratch, compare, swap),
+	// so a dirty-app refresh allocates nothing in steady state.
+	rectScratch []rectA
+	paScratch   []rectA
+	npScratch   []rectA
+	foldFns     []*stepfunc.StepFunc
+	walks       []*clusterWalk
+	slotViews   []view.View
+	slotStable  []bool
 
 	// eqSchedule buffers.
 	occ      []int // indices of applications with non-nil occupancy

@@ -3,6 +3,8 @@ package core
 import (
 	"sort"
 
+	"coormv2/internal/request"
+	"coormv2/internal/stepfunc"
 	"coormv2/internal/view"
 )
 
@@ -34,15 +36,35 @@ func (p PreemptPolicy) String() string {
 // vin among the applications' preemptible requests and returns the
 // preemptive view of each application, keyed by application ID. As a side
 // effect the ScheduledAt and NAlloc attributes of the preemptible requests
-// are updated.
+// are updated. It runs on a throwaway scheduler, so nothing is cached
+// across calls (the applications' caches are written but never reused with
+// stale inputs — every cache carries its exact input identity).
 func eqSchedule(apps []*AppState, vin view.View, t0 float64, policy PreemptPolicy) map[int]view.View {
-	return eqScheduleScratch(apps, vin, t0, policy, &scratch{})
+	s := NewScheduler(map[view.ClusterID]int{})
+	s.apps = apps
+	s.policy = policy
+	return s.eqScheduleIncremental(vin, t0, &s.sc, false)
 }
 
-// eqScheduleScratch is eqSchedule with caller-provided scratch buffers.
-func eqScheduleScratch(apps []*AppState, vin view.View, t0 float64, policy PreemptPolicy, sc *scratch) map[int]view.View {
+// eqScheduleIncremental is Algorithm 3 with per-application and per-cluster
+// caching: preliminary occupancy views are reused when the application's
+// preemptible set is clean and its availability-dependent allocs re-check
+// unchanged; the per-cluster interval walk is reused when every input
+// profile is the identical (immutable) object; and each application's
+// granted view keeps its object identity when none of its fragments
+// changed, which in turn lets the final rescheduling pass skip clean
+// applications. All reuse conditions are exact, so the result is
+// bit-identical to a full recomputation.
+// outSeeded reports that the persistent preemptive-view map already holds
+// every application's entry from the previous round, so reused
+// applications skip their map write.
+func (s *Scheduler) eqScheduleIncremental(vin view.View, t0 float64, sc *scratch, outSeeded bool) map[int]view.View {
+	apps := s.apps
 	n := len(apps)
-	out := make(map[int]view.View, n)
+	if s.outPViews == nil {
+		s.outPViews = make(map[int]view.View, n)
+	}
+	out := s.outPViews
 	if n == 0 {
 		return out
 	}
@@ -51,12 +73,19 @@ func eqScheduleScratch(apps []*AppState, vin view.View, t0 float64, policy Preem
 	sc.vocc = grown(sc.vocc, n)
 	vocc := sc.vocc
 	for i, a := range apps {
+		c := &a.cache
 		if a.P.Len() == 0 {
 			// No requests: toView and fit would be no-ops on an empty set
 			// and the subtraction below a full copy of vin for nothing.
 			vocc[i] = nil
 			continue
 		}
+		if c.eqOK && c.pSettled && allocStable(a.P, vin, t0, c.voccNAlloc) {
+			s.stats.EqOccReused++
+			vocc[i] = c.vocc
+			continue
+		}
+		s.stats.EqOccRecomputed++
 		fixed := toViewScratch(a.P, vin, t0, sc)
 		avail := vin.Sub(fixed)
 		avail.MutClampMin(0)
@@ -67,6 +96,15 @@ func eqScheduleScratch(apps []*AppState, vin view.View, t0 float64, policy Preem
 			fixed.MutAdd(pending)
 		}
 		vocc[i] = fixed
+		c.vocc = fixed
+		c.pSettled = allFixed(a.P)
+		c.pRects = captureRects(a.P, c.pRects, false)
+		if c.pSettled {
+			c.voccNAlloc = captureNAllocs(a.P, c.voccNAlloc)
+		} else {
+			c.voccNAlloc = c.voccNAlloc[:0]
+		}
+		c.eqOK = true
 	}
 
 	// Applications that occupy nothing are interchangeable in the
@@ -114,121 +152,115 @@ func eqScheduleScratch(apps []*AppState, vin view.View, t0 float64, policy Preem
 	clusters := sc.clusters
 	sort.Slice(clusters, func(i, j int) bool { return clusters[i] < clusters[j] })
 
-	// For each cluster, walk the piece-wise constant intervals (lines 4–27).
-	perWalk := make([]view.View, nw)
-	for i := range perWalk {
-		perWalk[i] = view.New()
-	}
-	// One profile cursor per source: profs[0] tracks vin, profs[1+j]
-	// tracks walked slot j's occupancy (nil for the virtual idle slot).
+	// For each cluster, walk the piece-wise constant intervals
+	// (lines 4–27) — or reuse the cached walk when every input profile is
+	// the identical object (profiles are immutable, so identity implies
+	// equality; a recomputed occupancy always carries fresh objects).
 	sc.profs = grown(sc.profs, nw+1)
-	sc.cursor = grown(sc.cursor, nw+1)
-	sc.val = grown(sc.val, nw+1)
-	sc.req = grown(sc.req, nw)
-	sc.share = grown(sc.share, nw)
-	sc.need = grown(sc.need, nw)
-	sc.grant = grown(sc.grant, nw)
-	sc.builders = grown(sc.builders, nw)
+	sc.walks = grown(sc.walks, len(clusters))
 	var zero view.View
-	for _, cid := range clusters {
-		// Merge the breakpoints of vin and all occupancy profiles into one
-		// sorted, deduplicated slice (no per-cluster set allocation).
-		bps := append(sc.bps[:0], 0)
-		bps = vin.Get(cid).AppendBreakpoints(bps)
-		for _, i := range occ {
-			bps = vocc[i].Get(cid).AppendBreakpoints(bps)
-		}
-		sort.Float64s(bps)
-		dedup := bps[:1]
-		for _, t := range bps[1:] {
-			if t != dedup[len(dedup)-1] {
-				dedup = append(dedup, t)
-			}
-		}
-		sc.bps = bps
-		bps = dedup
-
-		sc.profs[0] = vin.Get(cid)
+	for ci, cid := range clusters {
+		profs := sc.profs[:nw+1]
+		profs[0] = vin.Get(cid)
 		for j, i := range occ {
-			sc.profs[1+j] = vocc[i].Get(cid)
+			profs[1+j] = vocc[i].Get(cid)
 		}
 		if nw > len(occ) {
-			sc.profs[1+len(occ)] = zero.Get(cid) // virtual idle slot
+			profs[1+len(occ)] = zero.Get(cid) // virtual idle slot
 		}
-		for i := range sc.cursor {
-			sc.cursor[i] = 0
-			sc.val[i] = 0
+		if w := s.eqWalks[cid]; w != nil && walkKeyEqual(w.key, profs) {
+			s.stats.WalksReused++
+			sc.walks[ci] = w
+			continue
 		}
-		for i := range sc.builders {
-			sc.builders[i].Reset()
+		s.stats.WalksRecomputed++
+		w := &clusterWalk{
+			key:   append([]*stepfunc.StepFunc(nil), profs...),
+			frags: walkCluster(profs, nw, s.policy, sc),
 		}
+		s.eqWalks[cid] = w
+		sc.walks[ci] = w
+	}
 
-		for _, t := range bps {
-			// Advance every profile cursor to its segment covering t. The
-			// breakpoint list is the union of all profiles' breakpoints, so
-			// this walk visits each profile point exactly once per cluster.
-			for s, f := range sc.profs {
-				for sc.cursor[s] < f.Len() {
-					pt, pn := f.At(sc.cursor[s])
-					if pt > t {
-						break
-					}
-					sc.val[s] = pn
-					sc.cursor[s]++
-				}
+	// Assemble each slot's granted view from the per-cluster fragments,
+	// keeping the cached view object when nothing changed (stability feeds
+	// the rescheduling pass below). Slot nw-1 is the shared idle view.
+	sc.slotViews = grown(sc.slotViews, nw)
+	sc.slotStable = grown(sc.slotStable, nw)
+	for j := 0; j < nw; j++ {
+		var cached view.View
+		if j < len(occ) {
+			cached = apps[occ[j]].cache.granted
+		} else {
+			cached = s.eqIdle
+		}
+		nonzero := 0
+		match := cached != nil
+		for ci := range clusters {
+			f := sc.walks[ci].frags[j]
+			if f.IsZero() {
+				continue
 			}
-			vinVal := sc.val[0]
-			if vinVal < 0 {
-				vinVal = 0
-			}
-			sum := 0
-			active := 0
-			for i := 0; i < nw; i++ {
-				r := sc.val[1+i]
-				if r < 0 {
-					r = 0
-				}
-				sc.req[i] = r
-				sum += r
-				if r > 0 {
-					active++
-				}
-			}
-			divideInterval(vinVal, sc.req, sum, active, policy, sc.share, sc.need, sc.grant)
-			for i := 0; i < nw; i++ {
-				sc.builders[i].Append(t, sc.share[i])
+			nonzero++
+			if match && cached[clusters[ci]] != f {
+				match = false
 			}
 		}
-		for i := range perWalk {
-			f := sc.builders[i].Fn()
-			if !f.IsZero() {
-				perWalk[i][cid] = f
+		if match && len(cached) == nonzero {
+			sc.slotViews[j], sc.slotStable[j] = cached, true
+			continue
+		}
+		v := make(view.View, nonzero)
+		for ci := range clusters {
+			if f := sc.walks[ci].frags[j]; !f.IsZero() {
+				v[clusters[ci]] = f
 			}
+		}
+		sc.slotViews[j], sc.slotStable[j] = v, false
+		if j < len(occ) {
+			apps[occ[j]].cache.granted = v
+		} else {
+			s.eqIdle = v
 		}
 	}
 	var idle view.View // shared by every idle application
+	idleStable := false
 	if nw > len(occ) {
-		idle = perWalk[nw-1]
+		idle, idleStable = sc.slotViews[nw-1], sc.slotStable[nw-1]
 	}
 
 	// Reschedule all requests according to the computed views, so that
 	// ScheduledAt and NAlloc are set correctly (lines 28–30). Idle
 	// applications with no preemptible requests at all have nothing to
 	// reschedule and share the idle view's map (consumers treat pushed
-	// views as immutable).
+	// views as immutable). A clean, settled application whose granted view
+	// object is unchanged and whose alloc() values re-check identical
+	// against it has nothing to update either.
 	j := 0
 	for i, a := range apps {
 		var v view.View
+		var stable bool
 		if j < len(occ) && occ[j] == i {
-			v = perWalk[j]
+			v, stable = sc.slotViews[j], sc.slotStable[j]
 			j++
 		} else {
-			v = idle
+			v, stable = idle, idleStable
 			if a.P.Len() == 0 {
-				out[a.ID] = v
+				if !outSeeded || !stable {
+					out[a.ID] = v
+				}
 				continue
 			}
 		}
+		c := &a.cache
+		if stable && c.eqOK && c.pSettled && grantAllocStable(a.P, v, t0) {
+			s.stats.EqAppReused++
+			if !outSeeded {
+				out[a.ID] = v
+			}
+			continue
+		}
+		s.stats.EqAppRecomputed++
 		fixed := toViewScratch(a.P, v, t0, sc)
 		avail := v.Sub(fixed)
 		avail.MutClampMin(0)
@@ -236,6 +268,106 @@ func eqScheduleScratch(apps []*AppState, vin view.View, t0 float64, policy Preem
 		out[a.ID] = v
 	}
 	return out
+}
+
+// walkKeyEqual reports whether two input-profile lists are identical.
+func walkKeyEqual(key, profs []*stepfunc.StepFunc) bool {
+	if len(key) != len(profs) {
+		return false
+	}
+	for i := range key {
+		if key[i] != profs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// captureNAllocs records every request's NAlloc in set order.
+func captureNAllocs(rs *request.Set, dst []int) []int {
+	dst = dst[:0]
+	for _, r := range rs.All() {
+		dst = append(dst, r.NAlloc)
+	}
+	return dst
+}
+
+// walkCluster runs one cluster's piece-wise constant interval walk
+// (Alg. 3 lines 4–27): profs[0] is the vin fragment, profs[1+j] walked
+// slot j's occupancy fragment. It returns the per-slot result fragments.
+func walkCluster(profs []*stepfunc.StepFunc, nw int, policy PreemptPolicy, sc *scratch) []*stepfunc.StepFunc {
+	// Merge the breakpoints of all profiles into one sorted, deduplicated
+	// slice (no per-cluster set allocation).
+	bps := append(sc.bps[:0], 0)
+	for _, f := range profs {
+		bps = f.AppendBreakpoints(bps)
+	}
+	sort.Float64s(bps)
+	dedup := bps[:1]
+	for _, t := range bps[1:] {
+		if t != dedup[len(dedup)-1] {
+			dedup = append(dedup, t)
+		}
+	}
+	sc.bps = bps
+	bps = dedup
+
+	sc.cursor = grown(sc.cursor, nw+1)
+	sc.val = grown(sc.val, nw+1)
+	sc.req = grown(sc.req, nw)
+	sc.share = grown(sc.share, nw)
+	sc.need = grown(sc.need, nw)
+	sc.grant = grown(sc.grant, nw)
+	sc.builders = grown(sc.builders, nw)
+	for i := range sc.cursor {
+		sc.cursor[i] = 0
+		sc.val[i] = 0
+	}
+	for i := 0; i < nw; i++ {
+		sc.builders[i].Reset()
+	}
+
+	for _, t := range bps {
+		// Advance every profile cursor to its segment covering t. The
+		// breakpoint list is the union of all profiles' breakpoints, so
+		// this walk visits each profile point exactly once per cluster.
+		for s, f := range profs {
+			for sc.cursor[s] < f.Len() {
+				pt, pn := f.At(sc.cursor[s])
+				if pt > t {
+					break
+				}
+				sc.val[s] = pn
+				sc.cursor[s]++
+			}
+		}
+		vinVal := sc.val[0]
+		if vinVal < 0 {
+			vinVal = 0
+		}
+		sum := 0
+		active := 0
+		for i := 0; i < nw; i++ {
+			r := sc.val[1+i]
+			if r < 0 {
+				r = 0
+			}
+			sc.req[i] = r
+			sum += r
+			if r > 0 {
+				active++
+			}
+		}
+		divideInterval(vinVal, sc.req, sum, active, policy, sc.share, sc.need, sc.grant)
+		for i := 0; i < nw; i++ {
+			sc.builders[i].Append(t, sc.share[i])
+		}
+	}
+	frags := make([]*stepfunc.StepFunc, nw)
+	for i := 0; i < nw; i++ {
+		frags[i] = sc.builders[i].Fn()
+	}
+	return frags
 }
 
 // divideInterval computes the per-application view values for one

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"math"
+
+	"coormv2/internal/request"
+	"coormv2/internal/stepfunc"
+	"coormv2/internal/view"
+)
+
+// This file implements incremental recomputation for Schedule: per-cluster
+// dirty tracking over the base availability folds, per-application caching
+// of round artifacts (started-allocation views, CBF outputs, eqSchedule
+// occupancies and granted views), and per-cluster caching of the eqSchedule
+// interval walk. A cached artifact is reused only when its exact inputs are
+// provably unchanged — set contents, fixed-request rectangles, profile
+// object identity (profiles are immutable), and re-checked alloc() values
+// for the time-dependent windows — so outputs stay bit-identical to a full
+// recomputation (pinned by TestIncrementalMatchesFullRecompute and the
+// federation differential tests).
+//
+// Contract: the scheduler cannot see request-state mutations performed by
+// its caller (the RMS mutates request sets and attributes directly), so any
+// such mutation must be reported with MarkAppDirty before the next Schedule
+// call. Structural mutations through the Scheduler's own API (AddApp,
+// RemoveApp, AddCluster, RemoveCluster, SetClip, SetPolicy) invalidate
+// caches themselves. SetIncremental(false) restores unconditional full
+// recomputation.
+
+// SchedStats counts cache behaviour across Schedule rounds. All counters
+// are cumulative; Reused+Recomputed pairs sum to the work the corresponding
+// full recomputation would have performed.
+type SchedStats struct {
+	// Rounds counts Schedule calls; FullRounds counts the subset that ran
+	// with every cache invalidated (structural change or incremental off).
+	Rounds     int64
+	FullRounds int64
+	// Artifacts: per-app started-allocation views (toView folds).
+	ArtifactsReused     int64
+	ArtifactsRecomputed int64
+	// FoldClustersRecomputed counts per-cluster base-availability rebuilds.
+	FoldClustersRecomputed int64
+	// CBF: per-app steps of the non-preemptive Conservative Back-Filling pass.
+	CBFReused     int64
+	CBFRecomputed int64
+	// EqOcc: per-app preliminary occupancy views of eqSchedule (Alg. 3 lines 1-3).
+	EqOccReused     int64
+	EqOccRecomputed int64
+	// Walks: per-cluster interval walks of eqSchedule (Alg. 3 lines 4-27).
+	WalksReused     int64
+	WalksRecomputed int64
+	// EqApp: per-app rescheduling against the granted view (Alg. 3 lines 28-30).
+	EqAppReused     int64
+	EqAppRecomputed int64
+}
+
+// rectA is the canonical record of one fixed request's allocation, captured
+// from the request attributes right after they were (re)computed. Two equal
+// rectA sequences generate byte-identical occupancy views (StepFuncs are
+// stored in canonical normalized form, and node counts are integers, so
+// rectangle accumulation is exactly order-independent). startedAt records
+// the *input* start instant (-Inf while unstarted) alongside the derived
+// t0: a start performed by the RMS leaves ScheduledAt stale until the next
+// toView, and the comparison must see the mutation through the stale value.
+type rectA struct {
+	cid       view.ClusterID
+	t0, dur   float64
+	startedAt float64
+	n         int
+	wrapped   bool
+}
+
+// appCache holds one application's cached round artifacts. It lives on the
+// AppState so it is dropped with the application.
+type appCache struct {
+	// valid marks the request-state artifacts below as current; it is
+	// cleared by MarkAppDirty and restored by refreshAppLocked.
+	valid bool
+
+	// Artifacts derived from the PA/NP request sets (time-independent:
+	// toView with a nil availability view never reads the clock).
+	paRects   []rectA // fixed PA rects, set order
+	npRects   []rectA // fixed ¬P rects (wrapped flag carried), set order
+	paSettled bool    // every PA request is Fixed: fit is a no-op
+	npSettled bool    // every ¬P request is Fixed
+	idle      bool    // no PA and no ¬P requests at all
+
+	// CBF outputs, reusable while the running availability prefix is
+	// byte-identical to the round they were computed in (chain reuse).
+	cbfOK     bool
+	cbfOut    view.View // the application's non-preemptive view
+	cbfExcess view.View // wrapped excess subtracted from the running vNP
+
+	// eqSchedule caches.
+	eqOK       bool
+	pRects     []rectA // fixed P rects (NAlloc excluded: re-checked per round)
+	pSettled   bool    // every P request is Fixed: no time-dependent fit
+	vocc       view.View
+	voccNAlloc []int     // phase-A NAlloc per P request, set order
+	granted    view.View // granted preemptive view object of the last round
+}
+
+// clusterWalk caches one cluster's eqSchedule interval walk: the exact
+// input profiles (by identity — StepFuncs are immutable) and the per-slot
+// output fragments.
+type clusterWalk struct {
+	key   []*stepfunc.StepFunc // [vin fragment, slot fragments...]
+	frags []*stepfunc.StepFunc // per-slot outputs
+}
+
+// SetIncremental switches incremental recomputation on or off (default on).
+// With it off every Schedule round recomputes everything from scratch; the
+// differential tests pin the two modes byte-identical.
+func (s *Scheduler) SetIncremental(on bool) {
+	s.incremental = on
+	s.structGen++ // flush every cache on the next round
+}
+
+// Incremental reports whether incremental recomputation is enabled.
+func (s *Scheduler) Incremental() bool { return s.incremental }
+
+// Stats returns the cumulative incremental-recomputation counters.
+func (s *Scheduler) Stats() SchedStats { return s.stats }
+
+// MarkAppDirty reports that the application's request state was mutated
+// outside the scheduler (request added/withdrawn/finished, allocation
+// started, attributes rewritten). The next Schedule round recomputes the
+// application's cached artifacts; unmarked mutations make cached rounds
+// stale, so every RMS mutation path must call this. Unknown IDs are
+// ignored.
+func (s *Scheduler) MarkAppDirty(id int) {
+	if a, ok := s.byID[id]; ok {
+		a.cache.valid = false
+	}
+}
+
+// bumpStruct invalidates everything on the next round: cluster topology,
+// application membership/order, clip and policy all feed every artifact.
+func (s *Scheduler) bumpStruct() { s.structGen++ }
+
+// invalidateDerivedLocked clears every derived cache while keeping the
+// per-app request-state artifacts (they depend only on the request sets,
+// which structural changes do not touch — paths that do touch them mark the
+// app dirty as well).
+func (s *Scheduler) invalidateDerivedLocked() {
+	for _, a := range s.apps {
+		a.cache.cbfOK = false
+		a.cache.eqOK = false
+		a.cache.granted = nil
+	}
+	s.foldsReady = false
+	s.pvClampOK = false
+	s.eqIdle = nil
+	s.outOK = false
+	clear(s.eqWalks)
+}
+
+// allFixed reports whether every request of the set is Fixed — i.e. the
+// set has no request whose schedule the round computes from the clock.
+func allFixed(rs *request.Set) bool {
+	for _, r := range rs.All() {
+		if !r.Fixed {
+			return false
+		}
+	}
+	return true
+}
+
+// captureRects records the fixed requests' allocation rectangles in set
+// order. withAlloc selects whether the (availability-dependent) NAlloc or
+// the requested N is recorded.
+func captureRects(rs *request.Set, dst []rectA, withAlloc bool) []rectA {
+	dst = dst[:0]
+	for _, r := range rs.All() {
+		if !r.Fixed {
+			continue
+		}
+		n := r.N
+		if withAlloc {
+			n = r.NAlloc
+		}
+		startedAt := math.Inf(-1)
+		if r.Started() {
+			startedAt = r.StartedAt
+		}
+		dst = append(dst, rectA{
+			cid: r.Cluster, t0: r.ScheduledAt, dur: r.Duration,
+			startedAt: startedAt, n: n, wrapped: r.Wrapped,
+		})
+	}
+	return dst
+}
+
+func rectsEqual(a, b []rectA) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// addRectClusters marks the clusters of every rect dirty.
+func addRectClusters(dst map[view.ClusterID]struct{}, rects []rectA) {
+	for i := range rects {
+		dst[rects[i].cid] = struct{}{}
+	}
+}
+
+// refreshAppLocked recomputes a dirty application's request-state artifacts
+// and reports which base-fold clusters they dirtied. It preserves cbfOK and
+// eqOK when the recomputed artifacts are identical to the cached ones (the
+// common case when the mutation hit only one of the three sets).
+func (s *Scheduler) refreshAppLocked(a *AppState, now float64, npFold, pFold map[view.ClusterID]struct{}) {
+	c := &a.cache
+	oldPA, oldNP := c.paRects, c.npRects
+	oldPASettled, oldNPSettled, oldIdle := c.paSettled, c.npSettled, c.idle
+
+	a.startedPA = toViewScratch(a.PA, nil, now, &s.sc)
+	a.startedNP = toViewScratch(a.NP, nil, now, &s.sc)
+	newPA := captureRects(a.PA, s.sc.paScratch[:0], true)
+	newNP := captureRects(a.NP, s.sc.npScratch[:0], true)
+	c.paSettled = allFixed(a.PA)
+	c.npSettled = allFixed(a.NP)
+	c.idle = a.PA.Len() == 0 && a.NP.Len() == 0
+
+	if !rectsEqual(oldPA, newPA) {
+		addRectClusters(npFold, oldPA)
+		addRectClusters(npFold, newPA)
+	}
+	if !rectsEqual(oldNP, newNP) {
+		// Started ¬P allocations feed the preemptible fold; their wrapped
+		// excess feeds the non-preemptive fold.
+		addRectClusters(pFold, oldNP)
+		addRectClusters(pFold, newNP)
+		for _, rects := range [2][]rectA{oldNP, newNP} {
+			for i := range rects {
+				if rects[i].wrapped {
+					npFold[rects[i].cid] = struct{}{}
+				}
+			}
+		}
+	}
+	c.cbfOK = c.cbfOK &&
+		rectsEqual(oldPA, newPA) && rectsEqual(oldNP, newNP) &&
+		c.paSettled == oldPASettled && c.npSettled == oldNPSettled && c.idle == oldIdle
+	// Swap the freshly captured lists into the cache and recycle the old
+	// backing arrays as the next refresh's scratch.
+	c.paRects, s.sc.paScratch = newPA, oldPA
+	c.npRects, s.sc.npScratch = newNP, oldNP
+
+	// The eqSchedule caches survive a refresh only when the P set's fixed
+	// structure is untouched (NAlloc values are re-verified against the
+	// current availability at reuse time, so they are excluded here).
+	if c.eqOK {
+		freshP := captureRects(a.P, s.sc.rectScratch[:0], false)
+		s.sc.rectScratch = freshP
+		if !rectsEqual(c.pRects, freshP) || allFixed(a.P) != c.pSettled {
+			c.eqOK = false
+		}
+	}
+	c.valid = true
+}
+
+// rebuildFoldClusterLocked recomputes one cluster's entries of the base
+// availability folds: baseNP (capacity minus started pre-allocations minus
+// wrapped ¬P excess) and basePv (capacity minus started ¬P allocations).
+// The per-cluster op sequence matches the full recomputation exactly —
+// capacity rectangle, one k-way sum subtraction in application order, then
+// the wrapped rectangles in (application, set) order — so the rebuilt
+// profiles are byte-identical to a from-scratch round.
+func (s *Scheduler) rebuildFoldClusterLocked(cid view.ClusterID) {
+	s.stats.FoldClustersRecomputed++
+	var base *stepfunc.StepFunc
+	if n := s.clusters[cid]; n > 0 {
+		base = stepfunc.Rect(0, math.Inf(1), n)
+	} else {
+		base = stepfunc.Zero()
+	}
+
+	fs := s.sc.foldFns[:0]
+	for _, a := range s.apps {
+		if f, ok := a.startedPA[cid]; ok && f != nil {
+			fs = append(fs, f)
+		}
+	}
+	np := base
+	if len(fs) > 0 {
+		np = np.Sub(stepfunc.SumAll(fs))
+	}
+	for _, a := range s.apps {
+		for i := range a.cache.npRects {
+			r := &a.cache.npRects[i]
+			if r.wrapped && r.cid == cid {
+				np = np.AddRect(r.t0, r.dur, -r.n)
+			}
+		}
+	}
+	if np.IsZero() {
+		delete(s.baseNP, cid)
+	} else {
+		s.baseNP[cid] = np
+	}
+
+	fs = fs[:0]
+	for _, a := range s.apps {
+		if f, ok := a.startedNP[cid]; ok && f != nil {
+			fs = append(fs, f)
+		}
+	}
+	s.sc.foldFns = fs
+	pv := base
+	if len(fs) > 0 {
+		pv = pv.Sub(stepfunc.SumAll(fs))
+	}
+	if pv.IsZero() {
+		delete(s.basePv, cid)
+	} else {
+		s.basePv[cid] = pv
+	}
+}
+
+// rebuildFoldsLocked rebuilds the dirty clusters of the base folds, or all
+// relevant clusters when the folds are not ready at all. It reports whether
+// the non-preemptive and preemptible folds changed.
+func (s *Scheduler) rebuildFoldsLocked(npFold, pFold map[view.ClusterID]struct{}) (npChanged, pChanged bool) {
+	if !s.foldsReady {
+		clear(s.baseNP)
+		clear(s.basePv)
+		clear(npFold)
+		clear(pFold)
+		for cid := range s.clusters {
+			npFold[cid] = struct{}{}
+		}
+		for _, a := range s.apps {
+			addRectClusters(npFold, a.cache.paRects)
+			addRectClusters(npFold, a.cache.npRects)
+		}
+		for cid := range npFold {
+			s.rebuildFoldClusterLocked(cid)
+		}
+		s.foldsReady = true
+		s.pvClampOK = false
+		return true, true
+	}
+	for cid := range pFold {
+		if _, dup := npFold[cid]; !dup {
+			s.rebuildFoldClusterLocked(cid)
+		}
+	}
+	for cid := range npFold {
+		// rebuildFoldClusterLocked refreshes both folds for the cluster; a
+		// baseNP-only dirty cluster rebuilds a byte-identical basePv entry
+		// (its inputs are unchanged), so basePv-derived caches stay valid.
+		s.rebuildFoldClusterLocked(cid)
+	}
+	npChanged = len(npFold) > 0
+	pChanged = len(pFold) > 0
+	if pChanged {
+		s.pvClampOK = false
+	}
+	return npChanged, pChanged
+}
+
+// allocStable reports whether re-evaluating the availability-dependent
+// alloc() of every request in the set against v still yields want (one
+// entry per request, set order). It is the exact reuse condition for the
+// time-dependent part of a cached toView: the alloc window slides with the
+// clock, so the cached NAllocs hold iff the profile value over the new
+// window is unchanged.
+func allocStable(rs *request.Set, v view.View, now float64, want []int) bool {
+	all := rs.All()
+	if len(want) != len(all) {
+		return false
+	}
+	for i, r := range all {
+		t0, t1 := allocWindow(r, now)
+		if v.Alloc(r.Cluster, r.N, t0, t1-t0) != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// grantAllocStable is allocStable against the final (granted-view) NAlloc
+// attributes the last round left on the requests.
+func grantAllocStable(rs *request.Set, v view.View, now float64) bool {
+	for _, r := range rs.All() {
+		t0, t1 := allocWindow(r, now)
+		if v.Alloc(r.Cluster, r.N, t0, t1-t0) != r.NAlloc {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"coormv2/internal/request"
+	"coormv2/internal/view"
+)
+
+// The differential harness drives two schedulers — one incremental, one
+// with SetIncremental(false) — through the identical randomized churn
+// sequence and asserts byte-identical outcomes after every round: views,
+// start lists, and every scheduler-owned request attribute. This pins the
+// incremental caches to full recomputation under request add/withdraw,
+// start, finish, duration shrink (done), GC, app connect/disconnect and
+// cluster attach/detach.
+
+// diffOp is one abstract mutation, expressed in IDs so it can be applied to
+// both mirrored schedulers.
+type diffOp struct {
+	kind    string
+	app     int
+	req     request.ID
+	parent  request.ID
+	cluster view.ClusterID
+	n       int
+	dur     float64
+	typ     request.Type
+	how     request.Relation
+}
+
+// diffMirror is one scheduler with ID-indexed request bookkeeping.
+type diffMirror struct {
+	s    *Scheduler
+	reqs map[request.ID]*request.Request
+}
+
+func newDiffMirror(clusters map[view.ClusterID]int, incremental bool) *diffMirror {
+	s := NewScheduler(clusters)
+	s.SetIncremental(incremental)
+	return &diffMirror{s: s, reqs: make(map[request.ID]*request.Request)}
+}
+
+func (m *diffMirror) apply(t *testing.T, op diffOp, now float64) {
+	t.Helper()
+	switch op.kind {
+	case "connect":
+		m.s.AddApp(op.app, now)
+	case "disconnect":
+		if a := m.s.RemoveApp(op.app); a != nil {
+			for _, r := range a.Requests() {
+				delete(m.reqs, r.ID)
+			}
+		}
+	case "request":
+		a := m.s.App(op.app)
+		var parent *request.Request
+		if op.how != request.Free {
+			parent = m.reqs[op.parent]
+		}
+		r := request.New(op.req, op.app, op.cluster, op.n, op.dur, op.typ, op.how, parent)
+		a.SetFor(op.typ).Add(r)
+		m.reqs[r.ID] = r
+		m.s.MarkAppDirty(op.app)
+	case "withdraw":
+		r := m.reqs[op.req]
+		m.s.App(op.app).SetFor(r.Type).Remove(r)
+		delete(m.reqs, op.req)
+		m.s.MarkAppDirty(op.app)
+	case "finish":
+		r := m.reqs[op.req]
+		if r.Started() && now > r.StartedAt && now-r.StartedAt < r.Duration {
+			r.Duration = now - r.StartedAt // done() shrinks the allocation
+		}
+		r.Finished = true
+		m.s.MarkAppDirty(op.app)
+	case "gc":
+		a := m.s.App(op.app)
+		collect := func(r *request.Request) { delete(m.reqs, r.ID) }
+		a.PA.GC(now, collect)
+		a.NP.GC(now, collect)
+		a.P.GC(now, collect)
+		m.s.MarkAppDirty(op.app)
+	case "addcluster":
+		m.s.AddCluster(op.cluster, op.n)
+	default:
+		t.Fatalf("unknown op %q", op.kind)
+	}
+}
+
+// startArrived mirrors the RMS start path: every ToStart request begins now.
+func (m *diffMirror) startArrived(out *Outcome, now float64) {
+	for _, r := range out.ToStart {
+		r.StartedAt = now
+		m.s.MarkAppDirty(r.AppID)
+	}
+}
+
+func viewsEqual(a, b map[int]view.View) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("view count %d != %d", len(a), len(b))
+	}
+	for id, v := range a {
+		w, ok := b[id]
+		if !ok {
+			return fmt.Errorf("app %d missing", id)
+		}
+		if !v.Equal(w) {
+			return fmt.Errorf("app %d view %v != %v", id, v, w)
+		}
+	}
+	return nil
+}
+
+func (m *diffMirror) compareTo(o *diffMirror, outA, outB *Outcome) error {
+	if err := viewsEqual(outA.NonPreemptViews, outB.NonPreemptViews); err != nil {
+		return fmt.Errorf("non-preemptive: %w", err)
+	}
+	if err := viewsEqual(outA.PreemptViews, outB.PreemptViews); err != nil {
+		return fmt.Errorf("preemptive: %w", err)
+	}
+	if len(outA.ToStart) != len(outB.ToStart) {
+		return fmt.Errorf("ToStart %d != %d", len(outA.ToStart), len(outB.ToStart))
+	}
+	for i := range outA.ToStart {
+		if outA.ToStart[i].ID != outB.ToStart[i].ID {
+			return fmt.Errorf("ToStart[%d] = %d != %d", i, outA.ToStart[i].ID, outB.ToStart[i].ID)
+		}
+	}
+	if len(m.reqs) != len(o.reqs) {
+		return fmt.Errorf("request count %d != %d", len(m.reqs), len(o.reqs))
+	}
+	for id, r := range m.reqs {
+		q, ok := o.reqs[id]
+		if !ok {
+			return fmt.Errorf("request %d missing", id)
+		}
+		if r.ScheduledAt != q.ScheduledAt && !(math.IsInf(r.ScheduledAt, 1) && math.IsInf(q.ScheduledAt, 1)) {
+			return fmt.Errorf("request %d ScheduledAt %v != %v", id, r.ScheduledAt, q.ScheduledAt)
+		}
+		if r.NAlloc != q.NAlloc {
+			return fmt.Errorf("request %d NAlloc %d != %d", id, r.NAlloc, q.NAlloc)
+		}
+		if r.Fixed != q.Fixed {
+			return fmt.Errorf("request %d Fixed %v != %v", id, r.Fixed, q.Fixed)
+		}
+		if r.Wrapped != q.Wrapped {
+			return fmt.Errorf("request %d Wrapped %v != %v", id, r.Wrapped, q.Wrapped)
+		}
+	}
+	return nil
+}
+
+// TestIncrementalMatchesFullRecompute is the randomized-churn differential:
+// same op sequence, same clock, byte-identical outputs every round.
+func TestIncrementalMatchesFullRecompute(t *testing.T) {
+	clusterIDs := []view.ClusterID{"ca", "cb", "cc"}
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		clusters := map[view.ClusterID]int{"ca": 16, "cb": 8, "cc": 12}
+		inc := newDiffMirror(clusters, true)
+		full := newDiffMirror(clusters, false)
+
+		var nextReq request.ID = 1
+		nextApp := 1
+		now := 0.0
+		apply := func(op diffOp) {
+			inc.apply(t, op, now)
+			full.apply(t, op, now)
+		}
+		// Start with a few applications.
+		for i := 0; i < 3; i++ {
+			apply(diffOp{kind: "connect", app: nextApp})
+			nextApp++
+		}
+
+		for round := 0; round < 120; round++ {
+			now += rng.Float64() * 15
+			// 1–3 mutations per round, so rounds see mixed dirt.
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				appIDs := []int{}
+				for _, a := range inc.s.Apps() {
+					appIDs = append(appIDs, a.ID)
+				}
+				switch rng.Intn(10) {
+				case 0:
+					if len(appIDs) < 6 {
+						apply(diffOp{kind: "connect", app: nextApp})
+						nextApp++
+					}
+				case 1:
+					if len(appIDs) > 2 {
+						apply(diffOp{kind: "disconnect", app: appIDs[rng.Intn(len(appIDs))]})
+					}
+				case 2, 3, 4, 5:
+					if len(appIDs) == 0 {
+						continue
+					}
+					app := appIDs[rng.Intn(len(appIDs))]
+					op := diffOp{
+						kind: "request", app: app, req: nextReq,
+						cluster: clusterIDs[rng.Intn(len(clusterIDs))],
+						n:       1 + rng.Intn(6),
+						dur:     20 + rng.Float64()*200,
+					}
+					switch rng.Intn(3) {
+					case 0:
+						op.typ = request.PreAlloc
+					case 1:
+						op.typ = request.NonPreempt
+					default:
+						op.typ = request.Preempt
+						if rng.Intn(2) == 0 {
+							op.dur = math.Inf(1)
+						}
+					}
+					// Sometimes chain to an existing unfinished request of
+					// the same app (same-cluster, like the RMS enforces).
+					if rng.Intn(3) == 0 {
+						a := inc.s.App(app)
+						var cands []*request.Request
+						for _, r := range a.Requests() {
+							if !r.Finished && r.Cluster == op.cluster &&
+								!(op.typ == request.PreAlloc && r.Type != request.PreAlloc) {
+								cands = append(cands, r)
+							}
+						}
+						if len(cands) > 0 {
+							p := cands[rng.Intn(len(cands))]
+							op.parent = p.ID
+							if rng.Intn(2) == 0 {
+								op.how = request.Coalloc
+							} else {
+								op.how = request.Next
+							}
+						}
+					}
+					apply(op)
+					nextReq++
+				case 6, 7:
+					// Finish a random started, unfinished request.
+					var cands []*request.Request
+					for _, r := range inc.reqs {
+						if r.Started() && !r.Finished {
+							cands = append(cands, r)
+						}
+					}
+					if len(cands) > 0 {
+						r := cands[rng.Intn(len(cands))]
+						apply(diffOp{kind: "finish", app: r.AppID, req: r.ID})
+					}
+				case 8:
+					// Withdraw a random pending request with no children.
+					var cands []*request.Request
+					for _, r := range inc.reqs {
+						if r.Started() || r.Finished {
+							continue
+						}
+						child := false
+						for _, q := range inc.reqs {
+							if q.RelatedTo == r {
+								child = true
+								break
+							}
+						}
+						if !child {
+							cands = append(cands, r)
+						}
+					}
+					if len(cands) > 0 {
+						r := cands[rng.Intn(len(cands))]
+						apply(diffOp{kind: "withdraw", app: r.AppID, req: r.ID})
+					}
+				case 9:
+					if len(appIDs) > 0 {
+						apply(diffOp{kind: "gc", app: appIDs[rng.Intn(len(appIDs))]})
+					}
+				}
+			}
+			if round == 60 && seed%3 == 0 {
+				apply(diffOp{kind: "addcluster", cluster: "cd", n: 10})
+				clusterIDs = []view.ClusterID{"ca", "cb", "cc", "cd"}
+			}
+
+			outA := inc.s.Schedule(now)
+			outB := full.s.Schedule(now)
+			if err := inc.compareTo(full, outA, outB); err != nil {
+				t.Fatalf("seed %d round %d (t=%.2f): %v", seed, round, now, err)
+			}
+			// Start what the round says and compare the post-start round,
+			// mirroring the RMS's schedule→start→schedule sequence.
+			inc.startArrived(outA, now)
+			full.startArrived(outB, now)
+			outA = inc.s.Schedule(now)
+			outB = full.s.Schedule(now)
+			if err := inc.compareTo(full, outA, outB); err != nil {
+				t.Fatalf("seed %d round %d post-start (t=%.2f): %v", seed, round, now, err)
+			}
+		}
+	}
+}
+
+// TestIncrementalStatsReuse sanity-checks that steady rounds actually hit
+// the caches: after a quiet fleet settles, repeated rounds reuse every
+// per-app artifact and every cluster walk.
+func TestIncrementalStatsReuse(t *testing.T) {
+	s := NewScheduler(map[view.ClusterID]int{c0: 64})
+	for i := 0; i < 8; i++ {
+		a := s.AddApp(i+1, float64(i))
+		pa := request.New(request.ID(2*i+1), a.ID, c0, 4, 1e6, request.PreAlloc, request.Free, nil)
+		pa.StartedAt = 0
+		a.PA.Add(pa)
+		p := request.New(request.ID(2*i+2), a.ID, c0, 2, math.Inf(1), request.Preempt, request.Free, nil)
+		p.StartedAt = 0
+		a.P.Add(p)
+	}
+	s.Schedule(1) // cold round populates the caches
+	base := s.Stats()
+	for i := 2; i < 10; i++ {
+		s.Schedule(float64(i))
+	}
+	st := s.Stats()
+	if got := st.CBFRecomputed - base.CBFRecomputed; got != 0 {
+		t.Errorf("steady rounds recomputed %d CBF steps, want 0", got)
+	}
+	if got := st.EqOccRecomputed - base.EqOccRecomputed; got != 0 {
+		t.Errorf("steady rounds recomputed %d occupancies, want 0", got)
+	}
+	if got := st.WalksRecomputed - base.WalksRecomputed; got != 0 {
+		t.Errorf("steady rounds recomputed %d cluster walks, want 0", got)
+	}
+	if got := st.EqAppReused - base.EqAppReused; got == 0 {
+		t.Error("steady rounds should reuse the rescheduling pass")
+	}
+}

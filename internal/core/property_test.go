@@ -39,6 +39,7 @@ func TestPropScheduleNeverOversubscribes(t *testing.T) {
 		for round := 0; round < 60; round++ {
 			now += rng.Float64() * 20
 			a := apps[rng.Intn(len(apps))]
+			s.MarkAppDirty(a.st.ID) // the driver mutates request state below
 			switch rng.Intn(4) {
 			case 0:
 				if a.pa == nil {
@@ -76,6 +77,7 @@ func TestPropScheduleNeverOversubscribes(t *testing.T) {
 			// whenever NAlloc fits, which is what we are verifying).
 			for _, r := range out.ToStart {
 				r.StartedAt = now
+				s.MarkAppDirty(r.AppID)
 			}
 
 			// Reconstruct per-app reservation and allocation profiles.

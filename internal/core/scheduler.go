@@ -21,9 +21,13 @@ type AppState struct {
 	NP *request.Set // non-preemptible requests R_¬P
 	P  *request.Set // preemptible requests R_P
 
-	// scratch values used within one Schedule round
+	// Occupancy views of the started/fixed requests, maintained by
+	// refreshAppLocked and reused across rounds while the sets are clean.
 	startedPA view.View
 	startedNP view.View
+
+	// cache holds the application's incremental-recomputation artifacts.
+	cache appCache
 }
 
 // NewAppState returns an empty application state.
@@ -72,6 +76,41 @@ type Scheduler struct {
 
 	// sc holds the buffers reused across Schedule rounds.
 	sc scratch
+
+	// Incremental-recomputation state (see incremental.go). structGen is
+	// bumped by every structural mutation and compared against cacheGen at
+	// the top of Schedule; a mismatch flushes every derived cache.
+	incremental bool
+	structGen   uint64
+	cacheGen    uint64
+
+	// Base availability folds, maintained per cluster: baseNP is the full
+	// capacity minus every started pre-allocation minus the wrapped ¬P
+	// excess; basePv is the capacity minus every started ¬P allocation.
+	foldsReady bool
+	baseNP     view.View
+	basePv     view.View
+	npFoldDirt map[view.ClusterID]struct{}
+	pFoldDirt  map[view.ClusterID]struct{}
+
+	// pvClamp caches clampMin(0) of an untouched basePv so the eqSchedule
+	// input keeps stable profile identities across rounds.
+	pvClamp   view.View
+	pvClampOK bool
+
+	// eqSchedule caches: per-cluster interval walks and the shared idle view.
+	eqWalks map[view.ClusterID]*clusterWalk
+	eqIdle  view.View
+
+	// Persistent Outcome maps: entries are rewritten only when an
+	// application's view is recomputed, so a fully-reused round performs no
+	// map writes at all. Consequently an Outcome is valid until the next
+	// Schedule call (the RMS consumes it immediately; see Schedule's doc).
+	outNPViews map[int]view.View
+	outPViews  map[int]view.View
+	outOK      bool
+
+	stats SchedStats
 }
 
 // NewScheduler creates a scheduler managing the given clusters
@@ -84,18 +123,33 @@ func NewScheduler(clusters map[view.ClusterID]int) *Scheduler {
 		}
 		cp[cid] = n
 	}
-	return &Scheduler{clusters: cp, byID: make(map[int]*AppState)}
+	return &Scheduler{
+		clusters:    cp,
+		byID:        make(map[int]*AppState),
+		incremental: true,
+		baseNP:      view.New(),
+		basePv:      view.New(),
+		npFoldDirt:  make(map[view.ClusterID]struct{}),
+		pFoldDirt:   make(map[view.ClusterID]struct{}),
+		eqWalks:     make(map[view.ClusterID]*clusterWalk),
+	}
 }
 
 // SetPolicy selects the preemptible-resource division policy.
-func (s *Scheduler) SetPolicy(p PreemptPolicy) { s.policy = p }
+func (s *Scheduler) SetPolicy(p PreemptPolicy) {
+	s.policy = p
+	s.bumpStruct()
+}
 
 // Policy returns the active preemptible-resource division policy.
 func (s *Scheduler) Policy() PreemptPolicy { return s.policy }
 
 // SetClip installs an administrator limit on non-preemptive views
 // (nil removes the limit).
-func (s *Scheduler) SetClip(v view.View) { s.clip = v }
+func (s *Scheduler) SetClip(v view.View) {
+	s.clip = v
+	s.bumpStruct()
+}
 
 // Clusters returns the resource model (cluster ID → node count).
 func (s *Scheduler) Clusters() map[view.ClusterID]int {
@@ -120,6 +174,7 @@ func (s *Scheduler) AddCluster(cid view.ClusterID, n int) {
 		panic(fmt.Sprintf("core: duplicate cluster %s", cid))
 	}
 	s.clusters[cid] = n
+	s.bumpStruct()
 }
 
 // RemoveCluster removes a cluster from the resource model. The caller owns
@@ -131,6 +186,7 @@ func (s *Scheduler) RemoveCluster(cid view.ClusterID) {
 		panic(fmt.Sprintf("core: removing unknown cluster %s", cid))
 	}
 	delete(s.clusters, cid)
+	s.bumpStruct()
 }
 
 // AddApp registers an application at the given connection time and returns
@@ -143,6 +199,7 @@ func (s *Scheduler) AddApp(id int, connectedAt float64) *AppState {
 	s.apps = append(s.apps, a)
 	s.byID[id] = a
 	s.sortApps()
+	s.bumpStruct()
 	return a
 }
 
@@ -160,6 +217,7 @@ func (s *Scheduler) RemoveApp(id int) *AppState {
 			break
 		}
 	}
+	s.bumpStruct()
 	return a
 }
 
@@ -176,17 +234,6 @@ func (s *Scheduler) sortApps() {
 		}
 		return s.apps[i].ID < s.apps[j].ID
 	})
-}
-
-// fullView returns a view with every cluster at full capacity forever.
-func (s *Scheduler) fullView() view.View {
-	v := view.New()
-	for cid, n := range s.clusters {
-		if n > 0 {
-			v.MutAddRect(cid, 0, math.Inf(1), n)
-		}
-	}
-	return v
 }
 
 // Outcome is the result of one scheduling round: the views to present to
@@ -210,44 +257,78 @@ type Outcome struct {
 // Marking requests as started (and allocating node IDs) is the caller's
 // job: the RMS may have to defer a start until preempted resources are
 // actually released (§A.5).
+//
+// Schedule recomputes incrementally: per-application artifacts and
+// per-cluster availability folds are cached across rounds and recomputed
+// only for applications marked dirty (MarkAppDirty) and the clusters their
+// changes touched. Outputs are bit-identical to a full recomputation — a
+// cached value is reused only when its exact inputs are unchanged (see
+// incremental.go).
 func (s *Scheduler) Schedule(now float64) *Outcome {
 	sc := &s.sc
+	s.stats.Rounds++
+
+	if s.structGen != s.cacheGen || !s.incremental {
+		s.invalidateDerivedLocked()
+		if !s.incremental {
+			for _, a := range s.apps {
+				a.cache.valid = false
+			}
+		}
+		s.cacheGen = s.structGen
+		s.stats.FullRounds++
+	}
+
+	// Refresh the request-state artifacts of dirty applications (lines 3–5
+	// worth of per-app folds) and rebuild the base availability folds for
+	// the clusters those changes touched (lines 1–5 of Algorithm 4,
+	// maintained per cluster instead of recomputed from scratch).
+	clear(s.npFoldDirt)
+	clear(s.pFoldDirt)
+	for _, a := range s.apps {
+		if a.cache.valid {
+			s.stats.ArtifactsReused++
+			continue
+		}
+		s.stats.ArtifactsRecomputed++
+		s.refreshAppLocked(a, now, s.npFoldDirt, s.pFoldDirt)
+	}
+	npChanged, _ := s.rebuildFoldsLocked(s.npFoldDirt, s.pFoldDirt)
+
+	// The Outcome's view maps are persistent: a reused application keeps
+	// its entry from the previous round, so fully-reused rounds perform no
+	// map writes. outOK marks the maps as fully populated for the current
+	// application set (structural changes clear them).
+	if s.outNPViews == nil {
+		s.outNPViews = make(map[int]view.View, len(s.apps))
+		s.outPViews = make(map[int]view.View, len(s.apps))
+	}
+	if !s.outOK {
+		clear(s.outNPViews)
+		clear(s.outPViews)
+	}
+	outSeeded := s.outOK
 	out := &Outcome{
-		NonPreemptViews: make(map[int]view.View, len(s.apps)),
+		NonPreemptViews: s.outNPViews,
 		// PreemptViews is filled in by eqSchedule below.
 	}
 
-	// Initialize temporary views with all resources (lines 1–2).
-	vNP := s.fullView() // resources free for pre-allocations / wrapped ¬P
-	vP := s.fullView()  // resources free for preemptible requests
-
-	// Subtract resources allocated to started requests (lines 3–5).
-	// Started pre-allocations consume non-preemptible space; started
-	// non-preemptible allocations consume preemptible space. A started
-	// non-preemptible request that was implicitly wrapped (no covering
-	// pre-allocation) consumes non-preemptible space as well. The
-	// per-application profiles are folded with one k-way sum per cluster
-	// instead of one view subtraction per application.
-	sc.startedPAs = sc.startedPAs[:0]
-	sc.startedNPs = sc.startedNPs[:0]
-	for _, a := range s.apps {
-		a.startedPA = toViewScratch(a.PA, nil, now, sc)
-		a.startedNP = toViewScratch(a.NP, nil, now, sc)
-		sc.startedPAs = append(sc.startedPAs, a.startedPA)
-		sc.startedNPs = append(sc.startedNPs, a.startedNP)
-	}
-	vNP.MutSub(view.Sum(sc.startedPAs...))
-	vP.MutSub(view.Sum(sc.startedNPs...))
-	for _, a := range s.apps {
-		for _, r := range a.NP.All() {
-			if r.Fixed && r.Wrapped {
-				vNP.MutAddRect(r.Cluster, r.ScheduledAt, r.Duration, -r.NAlloc)
-			}
-		}
-	}
+	// The running availabilities start as the cached base folds and are
+	// cloned lazily on the first mutation, so a round that subtracts
+	// nothing new leaves the cached maps untouched.
+	vNP := s.baseNP // resources free for pre-allocations / wrapped ¬P
+	vNPShared := true
+	vP := s.basePv // resources free for preemptible requests
+	vPShared := true
 
 	// Compute non-preemptive views and start times of pre-allocations and
-	// non-preemptible requests (lines 6–11), applications in CBF order.
+	// non-preemptible requests (lines 6–11), applications in CBF order,
+	// with chain reuse: while the base fold is unchanged and every earlier
+	// application was reused, the running availability is byte-identical to
+	// the previous round, so each settled application's cached view and
+	// wrapped excess stand in for its recomputation. The first recomputed
+	// application breaks the chain for everything after it.
+	chain := !npChanged
 	if sc.inPA == nil {
 		sc.inPA = view.New()
 	}
@@ -261,6 +342,23 @@ func (s *Scheduler) Schedule(now float64) *Outcome {
 	// applications the shard actually schedules.
 	var idleViewNP view.View
 	for _, a := range s.apps {
+		c := &a.cache
+		if chain && c.cbfOK {
+			s.stats.CBFReused++
+			if !outSeeded {
+				out.NonPreemptViews[a.ID] = c.cbfOut
+			}
+			if len(c.cbfExcess) > 0 {
+				if vNPShared {
+					vNP = vNP.Clone()
+					vNPShared = false
+				}
+				vNP.MutSub(c.cbfExcess)
+			}
+			continue
+		}
+		chain = false
+		s.stats.CBFRecomputed++
 		if a.PA.Len() == 0 && a.NP.Len() == 0 {
 			if idleViewNP == nil {
 				vNPFree := vNP.ClampMin(0)
@@ -271,6 +369,7 @@ func (s *Scheduler) Schedule(now float64) *Outcome {
 				idleViewNP = viewNP.ClampMin(0)
 			}
 			out.NonPreemptViews[a.ID] = idleViewNP
+			c.cbfOut, c.cbfExcess, c.cbfOK = idleViewNP, nil, true
 			continue
 		}
 		idleViewNP = nil // this application may change vNP below
@@ -319,17 +418,52 @@ func (s *Scheduler) Schedule(now float64) *Outcome {
 		// non-preemptible requests consume preemptible space.
 		excess := voccNP.Sub(paFree)
 		excess.MutClampMin(0)
-		vNP.MutSub(voccPA)
-		vNP.MutSub(excess)
-		vP.MutSub(voccNP)
+		if len(voccPA) > 0 || len(excess) > 0 {
+			if vNPShared {
+				vNP = vNP.Clone()
+				vNPShared = false
+			}
+			vNP.MutSub(voccPA)
+			vNP.MutSub(excess)
+		}
+		if len(voccNP) > 0 {
+			if vPShared {
+				vP = vP.Clone()
+				vPShared = false
+			}
+			vP.MutSub(voccNP)
+		}
 
-		out.NonPreemptViews[a.ID] = viewNP.ClampMin(0)
+		outNP := viewNP.ClampMin(0)
+		out.NonPreemptViews[a.ID] = outNP
+		// A settled application (no pending PA/¬P request) contributes only
+		// its wrapped excess, which depends on its own state alone — cache
+		// the step for chain reuse. An application with pending requests
+		// depends on the clock and is recomputed every round.
+		if c.paSettled && c.npSettled {
+			c.cbfOut, c.cbfExcess, c.cbfOK = outNP, excess, true
+		} else {
+			c.cbfOK = false
+		}
 	}
 
 	// Compute preemptive views and start times of preemptible requests
-	// (line 12).
-	vP.MutClampMin(0)
-	out.PreemptViews = eqScheduleScratch(s.apps, vP, now, s.policy, sc)
+	// (line 12). An untouched preemptible fold keeps its cached clamp so
+	// profile identities stay stable for the per-cluster walk cache.
+	var vin view.View
+	if vPShared {
+		if s.pvClampOK {
+			vin = s.pvClamp
+		} else {
+			vin = vP.ClampMin(0)
+			s.pvClamp, s.pvClampOK = vin, true
+		}
+	} else {
+		vP.MutClampMin(0)
+		vin = vP
+	}
+	out.PreemptViews = s.eqScheduleIncremental(vin, now, sc, outSeeded)
+	s.outOK = true
 
 	// Collect requests whose start time has arrived (lines 13–14).
 	for _, a := range s.apps {

@@ -23,12 +23,15 @@ func submit(t *testing.T, s *Scheduler, a *AppState, id request.ID, n int, dur f
 		t.Fatalf("invalid test request: %v", err)
 	}
 	a.SetFor(typ).Add(r)
+	s.MarkAppDirty(a.ID)
 	return r
 }
 
-// start marks a request started at time now, as the RMS layer would.
-func start(r *request.Request, now float64) {
+// start marks a request started at time now, as the RMS layer would —
+// including the RMS's duty to report the mutation to the scheduler.
+func start(s *Scheduler, r *request.Request, now float64) {
 	r.StartedAt = now
+	s.MarkAppDirty(r.AppID)
 }
 
 func TestScheduleEmpty(t *testing.T) {
@@ -83,7 +86,7 @@ func TestScheduleBackfillSmallJob(t *testing.T) {
 	s := newSched(10)
 	a := s.AddApp(1, 0)
 	big := submit(t, s, a, 1, 8, 100, request.NonPreempt, request.Free, nil)
-	start(big, 0)
+	start(s, big, 0)
 	s.Schedule(0)
 
 	b := s.AddApp(2, 1)
@@ -112,8 +115,8 @@ func TestSchedulePreAllocationReservesSpace(t *testing.T) {
 	if pa.ScheduledAt != 0 || np.ScheduledAt != 0 {
 		t.Fatalf("PA/NP at %v/%v, want 0/0", pa.ScheduledAt, np.ScheduledAt)
 	}
-	start(pa, 0)
-	start(np, 0)
+	start(s, pa, 0)
+	start(s, np, 0)
 
 	b := s.AddApp(2, 1)
 	rnp := submit(t, s, b, 3, 4, 100, request.NonPreempt, request.Free, nil)
@@ -142,20 +145,22 @@ func TestScheduleNonPreemptInsidePreAllocGuaranteed(t *testing.T) {
 	pa := submit(t, s, a, 1, 8, 1000, request.PreAlloc, request.Free, nil)
 	np1 := submit(t, s, a, 2, 2, 1000, request.NonPreempt, request.Coalloc, pa)
 	s.Schedule(0)
-	start(pa, 0)
-	start(np1, 0)
+	start(s, pa, 0)
+	start(s, np1, 0)
 
 	// A malleable app fills the 8 unused nodes.
 	b := s.AddApp(2, 1)
 	rp := submit(t, s, b, 3, 8, math.Inf(1), request.Preempt, request.Free, nil)
 	s.Schedule(1)
-	start(rp, 1)
+	start(s, rp, 1)
 	rp.NodeIDs = []int{2, 3, 4, 5, 6, 7, 8, 9}
+	s.MarkAppDirty(rp.AppID)
 
 	// Spontaneous update at t=50: request 6 nodes NEXT after np1, done(np1).
 	np2 := submit(t, s, a, 4, 6, 950, request.NonPreempt, request.Next, np1)
 	np1.Duration = 50 // done() shortens the current request
 	np1.Finished = true
+	s.MarkAppDirty(np1.AppID)
 	out := s.Schedule(50)
 
 	if np2.ScheduledAt != 50 {
@@ -184,7 +189,7 @@ func TestScheduleTwoPreAllocationsQueued(t *testing.T) {
 	a := s.AddApp(1, 0)
 	paA := submit(t, s, a, 1, 7, 500, request.PreAlloc, request.Free, nil)
 	s.Schedule(0)
-	start(paA, 0)
+	start(s, paA, 0)
 
 	b := s.AddApp(2, 1)
 	paB := submit(t, s, b, 2, 7, 500, request.PreAlloc, request.Free, nil)
@@ -210,7 +215,7 @@ func TestScheduleNonPreemptViewShowsOwnPA(t *testing.T) {
 	a := s.AddApp(1, 0)
 	pa := submit(t, s, a, 1, 8, 1000, request.PreAlloc, request.Free, nil)
 	s.Schedule(0)
-	start(pa, 0)
+	start(s, pa, 0)
 	s.AddApp(2, 1)
 	out := s.Schedule(1)
 	// App 1 sees its own PA space (8) plus the free nodes (2) = 10.
@@ -250,16 +255,16 @@ func TestScheduleNoOversubscription(t *testing.T) {
 	pa := submit(t, s, a, 1, 6, 1000, request.PreAlloc, request.Free, nil)
 	np := submit(t, s, a, 2, 3, 1000, request.NonPreempt, request.Coalloc, pa)
 	s.Schedule(0)
-	start(pa, 0)
-	start(np, 0)
+	start(s, pa, 0)
+	start(s, np, 0)
 
 	b := s.AddApp(2, 1)
 	rp1 := submit(t, s, b, 3, 10, math.Inf(1), request.Preempt, request.Free, nil)
 	c := s.AddApp(3, 2)
 	rp2 := submit(t, s, c, 4, 10, math.Inf(1), request.Preempt, request.Free, nil)
 	s.Schedule(2)
-	start(rp1, 2)
-	start(rp2, 2)
+	start(s, rp1, 2)
+	start(s, rp2, 2)
 
 	d := s.AddApp(4, 3)
 	rnp := submit(t, s, d, 5, 4, 100, request.NonPreempt, request.Free, nil)

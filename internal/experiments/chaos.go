@@ -52,6 +52,12 @@ type ChaosReplayConfig struct {
 	Chaos chaos.Config
 	// MaxSimTime aborts runaway replays (default 10^9 s).
 	MaxSimTime float64
+	// FullRecompute disables incremental scheduling on every shard. The
+	// incremental≡full differential test runs the same seeded
+	// chaos×migration replay in both modes and requires byte-identical
+	// results (cache invalidation across crash, restart and migration is
+	// exactly what it pins down).
+	FullRecompute bool
 }
 
 // ChaosReplayResult aggregates one chaos replay. Every field is a pure
@@ -212,6 +218,7 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 		ReschedInterval: 1,
 		Clock:           clk,
 		Recovery:        cfg.Recovery,
+		FullRecompute:   cfg.FullRecompute,
 		Metrics: func(int) *metrics.Recorder {
 			r := metrics.NewRecorder()
 			recs = append(recs, r)

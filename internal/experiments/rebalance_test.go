@@ -150,3 +150,35 @@ func TestChaosRebalanceMatrix(t *testing.T) {
 		t.Fatal("no matrix entry migrated a cluster; the chaos×migration interleaving is untested")
 	}
 }
+
+// TestIncrementalMatchesFullRecomputeChaosMatrix is the system-level half
+// of the incremental-scheduling differential: the same seeded
+// chaos×migration replay — crashes, restarts, replay queues, live cluster
+// migrations, per-fault invariant checks — runs with incremental
+// recomputation on and off, and every result field must match byte for
+// byte, including the fault trace, migration trace and the event-stream
+// fingerprint. Cache invalidation across crash/restart/migration is the
+// risky part of the incremental scheduler; this pins it end to end.
+func TestIncrementalMatchesFullRecomputeChaosMatrix(t *testing.T) {
+	for _, seed := range []int64{7, 23} {
+		for _, pol := range []federation.RecoveryPolicy{federation.KillOnCrash, federation.RequeueOnCrash} {
+			cfg := rebalanceTestConfig(seed, true)
+			cfg.Recovery = pol
+			cfg.Chaos = chaos.Config{Seed: seed, MTTF: 900, MeanRestartDelay: 120, Horizon: 3000}
+
+			inc, err := RunChaosReplay(cfg)
+			if err != nil {
+				t.Fatalf("seed %d %v incremental: %v", seed, pol, err)
+			}
+			cfg.FullRecompute = true
+			full, err := RunChaosReplay(cfg)
+			if err != nil {
+				t.Fatalf("seed %d %v full: %v", seed, pol, err)
+			}
+			if !reflect.DeepEqual(inc, full) {
+				t.Errorf("seed %d %v: incremental run diverged from full recomputation\nincremental: %+v\nfull: %+v",
+					seed, pol, inc, full)
+			}
+		}
+	}
+}

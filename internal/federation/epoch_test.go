@@ -1,0 +1,231 @@
+package federation
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"coormv2/internal/clock"
+	"coormv2/internal/request"
+	"coormv2/internal/rms"
+	"coormv2/internal/sim"
+	"coormv2/internal/view"
+)
+
+// viewRecorder retains every delivered merged view, so the test can check
+// that later in-place cache updates never mutate an already-delivered map
+// (the copy-on-write loan contract).
+type viewRecorder struct {
+	nps, ps []view.View
+}
+
+func (r *viewRecorder) OnViews(np, p view.View) {
+	r.nps = append(r.nps, np)
+	r.ps = append(r.ps, p)
+}
+func (r *viewRecorder) OnStart(request.ID, []int) {}
+func (r *viewRecorder) OnKill(string)             {}
+
+func epochFed(t *testing.T, e *sim.Engine, shards int) (*Federator, []view.ClusterID) {
+	t.Helper()
+	clusters := map[view.ClusterID]int{}
+	cids := make([]view.ClusterID, 4)
+	for i := range cids {
+		cids[i] = view.ClusterID(fmt.Sprintf("c%d", i))
+		clusters[cids[i]] = 8
+	}
+	return New(Config{
+		Clusters:        clusters,
+		Shards:          shards,
+		ReschedInterval: 1,
+		GracePeriod:     1e18,
+		Clock:           clock.SimClock{E: e},
+	}), cids
+}
+
+// TestMergeCacheReusesCleanShards drives localized churn on one shard and
+// checks that merged-view deliveries re-merge only the changed shard once
+// the cache is warm.
+func TestMergeCacheReusesCleanShards(t *testing.T) {
+	e := sim.NewEngine()
+	fed, cids := epochFed(t, e, 4)
+	// Two standing sessions on the churn cluster: every arrival changes the
+	// preemptible shares there, so views really re-merge each round.
+	for i := 0; i < 2; i++ {
+		standing := fed.Connect(&viewRecorder{})
+		if _, err := standing.Request(rms.RequestSpec{Cluster: cids[0], N: 4, Duration: math.Inf(1), Type: request.Preempt}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := &viewRecorder{}
+	sess := fed.Connect(rec)
+	if _, err := sess.Request(rms.RequestSpec{Cluster: cids[0], N: 2, Duration: math.Inf(1), Type: request.Preempt}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(5)
+	baseRemerged, baseReused := fed.MergeStats()
+
+	// Steady churn on cluster 0 only (short firm allocations, so the
+	// availability really changes): every re-merge after warm-up should
+	// fold exactly one shard and reuse the other three.
+	for i := 0; i < 8; i++ {
+		if _, err := sess.Request(rms.RequestSpec{Cluster: cids[0], N: 1, Duration: 0.4, Type: request.NonPreempt}); err != nil {
+			t.Fatal(err)
+		}
+		e.Run(e.Now() + 1)
+	}
+	remerged, reused := fed.MergeStats()
+	dRemerged, dReused := remerged-baseRemerged, reused-baseReused
+	if dRemerged == 0 {
+		t.Fatal("churn produced no re-merges; the benchmark scenario is broken")
+	}
+	if dReused < 3*dRemerged {
+		t.Errorf("re-merged %d shard views but reused only %d; localized churn should reuse ~3 of 4 shards per merge",
+			dRemerged, dReused)
+	}
+}
+
+// TestMergeCacheDeliveredViewsImmutable checks the copy-on-write loan: a
+// view delivered to the application must never change afterwards, even
+// though the session keeps updating its cached merge in place.
+func TestMergeCacheDeliveredViewsImmutable(t *testing.T) {
+	e := sim.NewEngine()
+	fed, cids := epochFed(t, e, 4)
+	rec := &viewRecorder{}
+	sess := fed.Connect(rec)
+	if _, err := sess.Request(rms.RequestSpec{Cluster: cids[0], N: 2, Duration: math.Inf(1), Type: request.Preempt}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(5)
+
+	// Snapshot every delivered view (shallow copy of the map, profiles are
+	// immutable), then churn across clusters and verify the originals.
+	type snap struct {
+		v    view.View
+		copy view.View
+	}
+	var snaps []snap
+	for _, v := range append(append([]view.View{}, rec.nps...), rec.ps...) {
+		snaps = append(snaps, snap{v, v.Clone()})
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := sess.Request(rms.RequestSpec{
+			Cluster: cids[i%len(cids)], N: 1, Duration: 0.4, Type: request.Preempt,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		e.Run(e.Now() + 1)
+	}
+	for i, sn := range snaps {
+		if len(sn.v) != len(sn.copy) {
+			t.Fatalf("delivered view %d mutated after delivery: %d clusters, had %d", i, len(sn.v), len(sn.copy))
+		}
+		for cid, f := range sn.copy {
+			if sn.v[cid] != f {
+				t.Fatalf("delivered view %d mutated after delivery on cluster %s", i, cid)
+			}
+		}
+	}
+}
+
+// TestMergeCacheSurvivesCrashAndMigration pins the cache against topology
+// transitions: after a crash the dead shard's clusters vanish from the
+// merge, after restart+rounds they return, and a migration never leaves a
+// cluster duplicated or stranded in the merged view.
+func TestMergeCacheSurvivesCrashAndMigration(t *testing.T) {
+	e := sim.NewEngine()
+	fed, cids := epochFed(t, e, 2)
+	rec := &viewRecorder{}
+	sess := fed.Connect(rec)
+	if _, err := sess.Request(rms.RequestSpec{Cluster: cids[0], N: 2, Duration: math.Inf(1), Type: request.Preempt}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(5)
+
+	last := func() (view.View, view.View) {
+		if len(rec.nps) == 0 {
+			t.Fatal("no views delivered")
+		}
+		return rec.nps[len(rec.nps)-1], rec.ps[len(rec.ps)-1]
+	}
+
+	fed.CrashShard(1)
+	np, _ := last()
+	sh1 := fed.Shard(1).Clusters()
+	for cid := range np {
+		if _, dead := sh1[cid]; dead {
+			t.Fatalf("crashed shard's cluster %s still visible in merge", cid)
+		}
+	}
+	fed.RestartShard(1)
+	e.Run(e.Now() + 3)
+	np, _ = last()
+	for cid := range fed.Shard(1).Clusters() {
+		if _, ok := np[cid]; !ok {
+			t.Fatalf("restarted shard's cluster %s missing from merge", cid)
+		}
+	}
+
+	// Migrate a cluster from shard 0 to shard 1 and make sure the merged
+	// view still shows every cluster exactly once with fresh profiles.
+	var donorCluster view.ClusterID
+	for cid := range fed.Shard(0).Clusters() {
+		if cid != cids[0] { // keep the busy cluster put; move an idle one
+			donorCluster = cid
+			break
+		}
+	}
+	if _, err := fed.MigrateCluster(donorCluster, 1); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(e.Now() + 3)
+	np, p := last()
+	for _, v := range []view.View{np, p} {
+		for cid := range v {
+			if _, ok := fed.Owner(cid); !ok {
+				t.Fatalf("merged view shows unknown cluster %s", cid)
+			}
+		}
+	}
+	if _, ok := np[donorCluster]; !ok {
+		t.Fatalf("migrated cluster %s missing from merged view", donorCluster)
+	}
+	if err := fed.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRebalancerSkipsQuiescentChecks pins the epoch fast path: a check on a
+// quiescent federation skips the scoring pass entirely, and any load
+// mutation (even one accepted request) re-arms the full pass.
+func TestRebalancerSkipsQuiescentChecks(t *testing.T) {
+	e := sim.NewEngine()
+	fed, cids := epochFed(t, e, 2)
+	rb := NewRebalancer(fed, RebalancerConfig{Interval: 1})
+	sess := fed.Connect(&viewRecorder{})
+	if _, err := sess.Request(rms.RequestSpec{Cluster: cids[0], N: 1, Duration: math.Inf(1), Type: request.Preempt}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(2)
+
+	rb.CheckNow() // first check always runs
+	if got := rb.SkippedChecks(); got != 0 {
+		t.Fatalf("first check skipped (%d)", got)
+	}
+	rb.CheckNow() // nothing moved since: skipped
+	rb.CheckNow()
+	if got := rb.SkippedChecks(); got != 2 {
+		t.Fatalf("quiescent checks skipped = %d, want 2", got)
+	}
+	if _, err := sess.Request(rms.RequestSpec{Cluster: cids[1], N: 1, Duration: math.Inf(1), Type: request.Preempt}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(e.Now() + 2)
+	rb.CheckNow() // the accepted request advanced an epoch: full pass runs
+	if got := rb.SkippedChecks(); got != 2 {
+		t.Fatalf("post-mutation check skipped (skipped=%d)", got)
+	}
+	if got := rb.Checks(); got != 4 {
+		t.Fatalf("checks = %d, want 4", got)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"coormv2/internal/clock"
 	"coormv2/internal/core"
@@ -112,6 +113,10 @@ type Config struct {
 	// federated application ID. It must be a recorder of its own, not one of
 	// the per-shard recorders.
 	FederationMetrics *metrics.Recorder
+	// FullRecompute disables incremental scheduling on every shard (each
+	// round recomputes from scratch). The chaos×migration differential test
+	// pins the two modes byte-identical; production leaves it off.
+	FullRecompute bool
 }
 
 // Federator routes application sessions across a set of rms.Server shards.
@@ -135,6 +140,38 @@ type Federator struct {
 	nextReq  request.ID
 	down     []bool           // per-shard crashed flag
 	sessions map[int]*Session // live federated sessions by app ID
+
+	// Merge-cache counters (atomics: sessions record them under sess.mu,
+	// which is per-session). remergedShards counts shard views whose epoch
+	// had advanced at merge time (the dirty views that forced work);
+	// cleanShards counts shard views whose epoch had not. A merge with zero
+	// dirty views returns the cached result with no work; a merge with any
+	// dirty view re-folds every shard view into fresh maps (cheap map union
+	// of cached immutable profiles), so the clean count measures update
+	// locality, not work avoided within a rebuild.
+	remergedShards atomic.Int64
+	cleanShards    atomic.Int64
+}
+
+// noteMerge records one merged-view delivery in which `dirty` of `total`
+// shard views carried an advanced epoch. When federation metrics are
+// enabled the split surfaces as RemergedShardViews/ReusedShardViews under
+// the pseudo-app 0.
+func (f *Federator) noteMerge(dirty, total int) {
+	f.remergedShards.Add(int64(dirty))
+	f.cleanShards.Add(int64(total - dirty))
+	if f.fedRec != nil {
+		f.fedRec.IncCounter(0, metrics.RemergedShardViews, dirty)
+		f.fedRec.IncCounter(0, metrics.ReusedShardViews, total-dirty)
+	}
+}
+
+// MergeStats returns the cumulative merge counters: shard views that were
+// dirty (epoch advanced) versus clean at merge time, across every
+// session's merged-view deliveries. Deliveries with clean == total were
+// served from cache with no work at all.
+func (f *Federator) MergeStats() (dirty, clean int64) {
+	return f.remergedShards.Load(), f.cleanShards.Load()
 }
 
 // Partition splits a cluster set into at most n per-shard cluster sets,
@@ -200,6 +237,7 @@ func New(cfg Config) *Federator {
 			GracePeriod:     cfg.GracePeriod,
 			Clip:            clipFor(cfg.Clip, part),
 			Metrics:         rec,
+			FullRecompute:   cfg.FullRecompute,
 		})
 		for cid := range part {
 			f.owner[cid] = i
@@ -257,6 +295,7 @@ func (f *Federator) Connect(h rms.AppHandler) *Session {
 		subs:       make([]*rms.Session, len(f.shards)),
 		shardDown:  make([]bool, len(f.shards)),
 		shardViews: make([][2]view.View, len(f.shards)),
+		shardEpoch: make([]uint64, len(f.shards)),
 		toLocal:    make(map[request.ID]*fedReq),
 		fromLocal:  make([]map[request.ID]request.ID, len(f.shards)),
 		queues:     make([][]request.ID, len(f.shards)),

@@ -164,8 +164,16 @@ func (s *Session) noteClusterMoved(cid view.ClusterID, from int) {
 	}
 	for k := 0; k < 2; k++ {
 		if v := s.shardViews[from][k]; v != nil {
-			delete(v, cid)
+			if _, ok := v[cid]; ok {
+				// Copy-on-write: pushed view maps are shared with the rms
+				// layer (and possibly other sessions) under the immutable
+				// OnViews contract, so the strip works on a private clone.
+				v = v.Clone()
+				delete(v, cid)
+				s.shardViews[from][k] = v
+			}
 		}
 	}
+	s.shardEpoch[from]++
 	s.viewsDirty = true
 }

@@ -36,10 +36,12 @@ type Rebalancer struct {
 
 	mu       sync.Mutex
 	last     map[view.ClusterID]int64 // cumulative churn at the last check
+	epochs   []int64                  // per-shard load epoch at the last check
 	timer    clock.Timer
 	started  bool
 	stopped  bool
 	checks   int
+	skipped  int
 	migrated int
 	requests int
 	trace    []string
@@ -121,6 +123,10 @@ func (rb *Rebalancer) tick() {
 // Checks returns the number of load checks performed.
 func (rb *Rebalancer) Checks() int { rb.mu.Lock(); defer rb.mu.Unlock(); return rb.checks }
 
+// SkippedChecks returns the number of checks that skipped the scoring pass
+// because no shard's load epoch had advanced since the previous check.
+func (rb *Rebalancer) SkippedChecks() int { rb.mu.Lock(); defer rb.mu.Unlock(); return rb.skipped }
+
 // Migrations returns the number of completed cluster migrations.
 func (rb *Rebalancer) Migrations() int { rb.mu.Lock(); defer rb.mu.Unlock(); return rb.migrated }
 
@@ -141,11 +147,37 @@ func (rb *Rebalancer) CheckNow() {
 	defer rb.mu.Unlock()
 	rb.checks++
 
+	// Cheap epoch compare before any load snapshotting: every shard
+	// reports a load-mutation epoch (rms.Server.LoadEpoch advances on any
+	// mutation that could change ClusterLoads; a stopped shard reports
+	// -1). If every epoch matches the previous check's, nothing moved on
+	// any shard — the scores would come out identical and the previous
+	// check already declined to act on them — so the whole scoring pass is
+	// skipped. The first check always runs.
+	n := rb.f.NumShards()
+	if rb.epochs == nil {
+		rb.epochs = make([]int64, n)
+		for i := range rb.epochs {
+			rb.epochs[i] = -2 // matches no real epoch: the first check runs
+		}
+	}
+	quiescent := true
+	for i := 0; i < n; i++ {
+		e := rb.f.Shard(i).LoadEpoch()
+		if e != rb.epochs[i] {
+			quiescent = false
+		}
+		rb.epochs[i] = e
+	}
+	if quiescent {
+		rb.skipped++
+		return
+	}
+
 	type cand struct {
 		cid   view.ClusterID
 		score int64
 	}
-	n := rb.f.NumShards()
 	scores := make([]int64, n)
 	running := make([]bool, n)
 	clusters := make([][]cand, n)

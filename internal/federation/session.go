@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"coormv2/internal/metrics"
 	"coormv2/internal/request"
@@ -31,6 +32,15 @@ type fedReq struct {
 	started   bool
 	startedAt float64
 }
+
+// migrateRetryBudget bounds how many times a racing request()/done() call
+// is retried against a re-homed cluster under clock.RealClock. Inside the
+// simulator a migration is atomic within one event, so the retry path is
+// unreachable there; under a real clock BenchmarkMigrationBackpressure
+// measures the tail latency of racing operations during sustained
+// migration churn — one retry almost always suffices, and the budget turns
+// a pathological migration storm into a clean error instead of livelock.
+const migrateRetryBudget = 3
 
 // Session is one application's connection to the federation. It satisfies
 // the same application-side surface as *rms.Session (AppID, Request, Done,
@@ -78,10 +88,23 @@ type Session struct {
 
 	// shardViews holds the latest views pushed by each shard; merged pushes
 	// are serialized by the delivering/viewsDirty pair so a slow handler
-	// never observes an older merge after a newer one.
+	// never observes an older merge after a newer one. shardEpoch advances
+	// on every stored-view change (push, crash zeroing, migration strip):
+	// the merge cache re-merges exactly the shards whose epoch moved.
 	shardViews [][2]view.View
+	shardEpoch []uint64
 	viewsDirty bool
 	delivering bool
+
+	// Epoch-cached merge state: the last merged maps and the epoch each
+	// shard was merged at. When no epoch advanced the cached maps are
+	// returned with no work at all; when any did, the union is rebuilt into
+	// fresh maps — delivered maps are never mutated afterwards, so
+	// applications can retain them like they always could.
+	mergedOK    bool
+	mergedNP    view.View
+	mergedP     view.View
+	mergedEpoch []uint64
 }
 
 // AppID returns the federated application ID (identical on every shard).
@@ -98,14 +121,29 @@ func (s *Session) Request(spec rms.RequestSpec) (request.ID, error) {
 		return 0, fmt.Errorf("rms: unknown cluster %q", spec.Cluster)
 	}
 	id, err := s.requestOn(shard, spec)
-	if err != nil {
-		// A live migration may have re-homed the cluster between the routing
-		// decision and the shard call (real clock only — simulator events
-		// are atomic), making the old owner reject its own cluster. Retry
-		// once against the new owner.
-		if cur, ok := s.f.Owner(spec.Cluster); ok && cur != shard {
-			return s.requestOn(cur, spec)
+	// A live migration may have re-homed the cluster between the routing
+	// decision and the shard call (real clock only — simulator events are
+	// atomic), making the old owner reject its own cluster. Retry against
+	// the current owner, bounded by the migration retry budget so a
+	// migration storm degrades into an error rather than a livelock. A
+	// rejection from the shard the owner table still names means the
+	// migration is mid-flight (detached, new owner not committed): back off
+	// briefly before re-resolving — that wait is the measured back-pressure
+	// of BenchmarkMigrationBackpressure.
+	for attempt := 0; err != nil && attempt < migrateRetryBudget; attempt++ {
+		cur, ok := s.f.Owner(spec.Cluster)
+		if !ok {
+			break
 		}
+		if cur == shard {
+			if !errors.Is(err, rms.ErrUnknownCluster) {
+				break
+			}
+			time.Sleep(time.Duration(attempt+1) * 100 * time.Microsecond)
+			continue
+		}
+		shard = cur
+		id, err = s.requestOn(shard, spec)
 	}
 	return id, err
 }
@@ -123,7 +161,7 @@ func (s *Session) requestOn(shard int, spec rms.RequestSpec) (request.ID, error)
 		e, ok := s.toLocal[spec.RelatedTo]
 		if !ok {
 			s.mu.Unlock()
-			return 0, &rms.RequestError{ID: spec.RelatedTo, Related: true, Node: -1, Reason: "not found"}
+			return 0, &rms.RequestError{ID: spec.RelatedTo, Related: true, Node: -1, Reason: rms.ReasonNotFound}
 		}
 		if e.shard != shard {
 			s.mu.Unlock()
@@ -217,20 +255,36 @@ func (s *Session) Done(id request.ID, released []int) error {
 	}
 	lid := e.id
 	s.mu.Unlock()
-	if err := sub.Done(lid, released); err != nil {
-		// A live migration may have re-homed the request mid-operation
-		// (real clock only): the mapping now points at another shard-local
-		// ID. Retry once against the rewritten mapping.
+	err := sub.Done(lid, released)
+	// A live migration may have re-homed the request mid-operation (real
+	// clock only): the mapping now points at another shard-local ID. Retry
+	// against the rewritten mapping, bounded by the migration retry budget.
+	// An unchanged mapping with a "not found" rejection is the mid-flight
+	// window (the rewrite lands with the attach, under the target's lock):
+	// back off briefly and re-read the mapping.
+	for attempt := 0; err != nil && attempt < migrateRetryBudget; attempt++ {
 		s.mu.Lock()
 		shard2, lid2, queued := e.shard, e.id, e.queued
 		sub2 := s.subs[shard2]
 		s.mu.Unlock()
-		if (shard2 != shard || lid2 != lid) && !queued && sub2 != nil {
-			if err2 := sub2.Done(lid2, released); err2 != nil {
-				return s.translateErr(shard2, err2)
-			}
-			return nil
+		if queued || sub2 == nil {
+			break
 		}
+		if shard2 == shard && lid2 == lid {
+			// Only a structural not-found can be the migration window (a
+			// shard-side reap race pays the same bounded wait — its mapping
+			// is pruned moments later and retries are rare either way).
+			var re *rms.RequestError
+			if !errors.As(err, &re) || re.Reason != rms.ReasonNotFound {
+				break
+			}
+			time.Sleep(time.Duration(attempt+1) * 100 * time.Microsecond)
+			continue
+		}
+		shard, lid, sub = shard2, lid2, sub2
+		err = sub.Done(lid, released)
+	}
+	if err != nil {
 		return s.translateErr(shard, err)
 	}
 	return nil
@@ -316,6 +370,7 @@ func (s *Session) absorbCrash(shard int, pol RecoveryPolicy) (affected bool, req
 	s.subs[shard] = nil
 	s.shardDown[shard] = true
 	s.shardViews[shard] = [2]view.View{}
+	s.shardEpoch[shard]++
 	s.viewsDirty = true
 	// Ascending federated-ID order: deterministic, and it guarantees a
 	// relation's parent (always a smaller ID) is processed first.
@@ -638,6 +693,7 @@ func (h *shardHandler) OnViews(np, p view.View) {
 	s := h.sess
 	s.mu.Lock()
 	s.shardViews[h.shard] = [2]view.View{np, p}
+	s.shardEpoch[h.shard]++
 	s.viewsDirty = true
 	s.deliverViewsLocked()
 }
@@ -647,6 +703,16 @@ func (h *shardHandler) OnViews(np, p view.View) {
 // shard's entry is zeroed, so its clusters simply vanish from the merge.
 // With a single shard the shard's views are forwarded as-is, keeping a
 // 1-shard federation byte-identical to a single RMS.
+//
+// The merge is epoch-cached: each stored shard view carries an epoch, and
+// when no epoch advanced since the last merge the cached maps are returned
+// with no work at all (crash/migration sweeps call pushMerged on every
+// session; only the affected ones pay anything). When some epoch did
+// advance the union is rebuilt into fresh pre-sized maps — rebuilding
+// beats patching the cached maps in place, because patching would have to
+// clone them first anyway (the previous result was handed to the
+// application, which may retain it). The per-shard dirty/clean split is
+// reported to the federator's merge counters.
 func (s *Session) mergedLocked() (np, p view.View) {
 	if len(s.shardViews) == 1 {
 		v := s.shardViews[0]
@@ -656,20 +722,37 @@ func (s *Session) mergedLocked() (np, p view.View) {
 		}
 		return v[0], v[1]
 	}
+	if s.mergedEpoch == nil {
+		s.mergedEpoch = make([]uint64, len(s.shardViews))
+	}
+	dirty := 0
+	for i := range s.shardViews {
+		if s.mergedEpoch[i] != s.shardEpoch[i] {
+			dirty++
+		}
+	}
+	if s.mergedOK && dirty == 0 {
+		s.f.noteMerge(0, len(s.shardViews))
+		return s.mergedNP, s.mergedP
+	}
 	nNP, nP := 0, 0
 	for _, sv := range s.shardViews {
 		nNP += len(sv[0])
 		nP += len(sv[1])
 	}
 	np, p = make(view.View, nNP), make(view.View, nP)
-	for _, sv := range s.shardViews {
+	for i, sv := range s.shardViews {
 		for cid, f := range sv[0] {
 			np[cid] = f
 		}
 		for cid, f := range sv[1] {
 			p[cid] = f
 		}
+		s.mergedEpoch[i] = s.shardEpoch[i]
 	}
+	s.mergedNP, s.mergedP = np, p
+	s.mergedOK = true
+	s.f.noteMerge(dirty, len(s.shardViews))
 	return np, p
 }
 

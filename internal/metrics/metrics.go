@@ -66,6 +66,15 @@ const (
 	// it under application ID 0 — the pseudo-app standing for the federation
 	// itself, since a migration is not attributable to one application.
 	MigratedClusters
+	// RemergedShardViews counts shard views whose epoch had advanced when a
+	// session's merged view was delivered (the dirty views that forced a
+	// merge); ReusedShardViews counts shard views whose epoch had not. A
+	// delivery with no dirty views is served from the merge cache with no
+	// work; one with any dirty view rebuilds the union, so the split
+	// measures update locality across the fleet. Federation-level counters
+	// (pseudo-app 0) for the epoch-cached view merge.
+	RemergedShardViews
+	ReusedShardViews
 
 	numCounters
 )
@@ -87,6 +96,10 @@ func (c Counter) String() string {
 		return "migrated-requests"
 	case MigratedClusters:
 		return "migrated-clusters"
+	case RemergedShardViews:
+		return "remerged-shard-views"
+	case ReusedShardViews:
+		return "reused-shard-views"
 	default:
 		return fmt.Sprintf("Counter(%d)", uint8(c))
 	}

@@ -11,6 +11,20 @@ import (
 // Callers detect it with errors.Is.
 var ErrStopped = errors.New("rms: server stopped")
 
+// ErrUnknownCluster is wrapped by request() rejections for clusters the
+// server does not manage. The federation routing layer detects it with
+// errors.Is: during a live migration there is a window where the cluster is
+// detached from its old owner but the new ownership is not committed yet,
+// and exactly this error marks an operation that should briefly back off
+// and re-resolve the owner (bounded by the migration retry budget).
+var ErrUnknownCluster = errors.New("rms: unknown cluster")
+
+// ReasonNotFound is the RequestError.Reason for operations naming a request
+// the server does not know. The federation layer matches it structurally to
+// detect the mid-migration window where a request's new home is not
+// committed yet (see internal/federation.Session.Done).
+const ReasonNotFound = "not found"
+
 // RequestError is an error about a specific request. The offending request
 // ID is carried as a field, not only baked into the message, so a routing
 // layer (internal/federation) can translate shard-local IDs into its own

@@ -255,6 +255,7 @@ func (s *Server) DetachCluster(cid view.ClusterID) (*ClusterSnapshot, error) {
 			sess.held -= moved
 			s.recordAllocLocked(sess, now)
 		}
+		s.touchLocked(id)
 		snap.Apps = append(snap.Apps, st)
 	}
 
@@ -272,6 +273,7 @@ func (s *Server) DetachCluster(cid view.ClusterID) (*ClusterSnapshot, error) {
 		}
 	}
 	s.sched.RemoveCluster(cid)
+	s.loadEpoch++ // the topology change alone alters ClusterLoads
 	s.recordPreAllocLocked(now)
 	s.requestRunLocked()
 	return snap, nil
@@ -360,10 +362,12 @@ func (s *Server) AttachCluster(snap *ClusterSnapshot, observe func(appID int, ol
 			sess.held += moved
 			s.recordAllocLocked(sess, now)
 		}
+		s.touchLocked(as.AppID)
 		if s.cfg.Metrics != nil {
 			s.cfg.Metrics.IncCounter(as.AppID, metrics.MigratedRequests, len(as.Requests))
 		}
 	}
+	s.loadEpoch++ // the topology change alone alters ClusterLoads
 	s.recordPreAllocLocked(now)
 	s.requestRunLocked()
 	return nil

@@ -13,6 +13,7 @@ package rms
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
 	"sync"
 
@@ -28,6 +29,8 @@ import (
 // its lock while notifying).
 type AppHandler interface {
 	// OnViews delivers fresh non-preemptive and preemptive views (§3.1.4).
+	// Delivered views are immutable and may be shared between sessions:
+	// handlers may retain them indefinitely but must never modify them.
 	OnViews(nonPreempt, preempt view.View)
 	// OnStart notifies that a request started and delivers its node IDs
 	// (empty for pre-allocations).
@@ -82,6 +85,10 @@ type Config struct {
 	Clip view.View
 	// Metrics, when non-nil, receives allocation updates.
 	Metrics *metrics.Recorder
+	// FullRecompute disables the scheduler's incremental recomputation, so
+	// every round recomputes everything from scratch. The differential
+	// tests pin the two modes byte-identical; production leaves it off.
+	FullRecompute bool
 }
 
 // Server is a CooRMv2 RMS instance.
@@ -118,8 +125,22 @@ type Server struct {
 	// notifications queued during a locked section, delivered unlocked.
 	pending []func()
 
-	// idScratch is the session-ID buffer reused by sessionIDsLocked.
+	// idScratch is the sorted session-ID list reused by sessionIDsLocked;
+	// idsOK marks it current (connect/teardown invalidate it). Per-round
+	// loops call sessionIDsLocked several times over an unchanged session
+	// set, so the collect-and-sort runs only when membership changed.
 	idScratch []int
+	idsOK     bool
+
+	// trimMemo memoizes per-round view trims by map identity (see
+	// pushViewsLocked); cleared at the start of every push pass.
+	trimMemo map[uintptr]view.View
+
+	// loadEpoch counts load-relevant mutations (accepted requests, starts,
+	// finishes, frees, cluster attach/detach, restarts). A rebalancer can
+	// compare epochs across checks and skip its scoring pass when nothing
+	// moved anywhere (see federation.Rebalancer).
+	loadEpoch int64
 
 	// stopped marks a crashed server (Stop): all state is gone and every
 	// operation fails until Reset.
@@ -151,11 +172,13 @@ func NewServer(cfg Config) *Server {
 // restarted shard cannot silently diverge from a freshly constructed one.
 func (s *Server) initStateLocked() {
 	s.sched = core.NewScheduler(s.cfg.Clusters)
+	s.sched.SetIncremental(!s.cfg.FullRecompute)
 	s.sched.SetPolicy(s.cfg.Policy)
 	if s.cfg.Clip != nil {
 		s.sched.SetClip(s.cfg.Clip)
 	}
 	s.sessions = make(map[int]*Session)
+	s.idsOK = false
 	s.lastViews = make(map[int][2]view.View)
 	s.deficitSince = make(map[int]float64)
 	s.pools = make(map[view.ClusterID]*idPool, len(s.cfg.Clusters))
@@ -230,6 +253,7 @@ func (s *Server) connectLocked(h AppHandler, id int) *Session {
 	app := s.sched.AddApp(id, s.clk.Now())
 	sess := &Session{s: s, app: app, h: h}
 	s.sessions[id] = sess
+	s.idsOK = false
 	s.requestRunLocked()
 	return sess
 }
@@ -237,6 +261,38 @@ func (s *Server) connectLocked(h AppHandler, id int) *Session {
 // Scheduler exposes the underlying scheduler for inspection (tests,
 // experiment harness). Mutating it directly is not supported.
 func (s *Server) Scheduler() *core.Scheduler { return s.sched }
+
+// SchedStats returns the scheduler's cumulative incremental-recomputation
+// counters (cache hits and misses per artifact kind).
+func (s *Server) SchedStats() core.SchedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sched.Stats()
+}
+
+// LoadEpoch returns the server's load-mutation epoch: it advances on every
+// mutation that could change ClusterLoads (accepted requests, starts,
+// finishes, node-ID frees, cluster attach/detach, restart). Equal epochs
+// across two observations guarantee an unchanged load picture. A stopped
+// server reports -1.
+func (s *Server) LoadEpoch() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return -1
+	}
+	return s.loadEpoch
+}
+
+// touchLocked records a request-state mutation of one application: the
+// scheduler recomputes the app's cached artifacts next round, and the load
+// epoch advances. Every RMS mutation path funnels through this (missing a
+// mark would make cached rounds stale — the incremental≡full differential
+// tests guard it).
+func (s *Server) touchLocked(appID int) {
+	s.sched.MarkAppDirty(appID)
+	s.loadEpoch++
+}
 
 // Stop simulates a crash: the scheduler-side state of every session is
 // dropped without notification (the process died — there are no goodbye
@@ -263,6 +319,7 @@ func (s *Server) Stop() {
 		}
 	}
 	s.sessions = make(map[int]*Session)
+	s.idsOK = false
 	s.lastViews = make(map[int][2]view.View)
 	s.deficitSince = make(map[int]float64)
 	if s.schedTimer != nil {
@@ -297,6 +354,7 @@ func (s *Server) Reset() {
 		panic("rms: Reset on a running server")
 	}
 	s.stopped = false
+	s.loadEpoch++ // an empty rejoin is a load change in itself
 	s.initStateLocked()
 }
 
@@ -308,14 +366,19 @@ func (s *Server) SessionIDs() []int {
 }
 
 // sessionIDsLocked returns the live session IDs in ascending order, reusing
-// the server's scratch buffer (valid until the next call).
+// the server's cached list (valid until the session set changes; callers
+// never mutate membership while ranging it).
 func (s *Server) sessionIDsLocked() []int {
+	if s.idsOK {
+		return s.idScratch
+	}
 	ids := s.idScratch[:0]
 	for id := range s.sessions {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
 	s.idScratch = ids
+	s.idsOK = true
 	return ids
 }
 
@@ -417,12 +480,12 @@ func (sess *Session) RequestObserved(spec RequestSpec, observe func(request.ID))
 		parent = sess.findRequestLocked(spec.RelatedTo)
 		if parent == nil {
 			s.mu.Unlock()
-			return 0, errRelated(spec.RelatedTo, "not found")
+			return 0, errRelated(spec.RelatedTo, ReasonNotFound)
 		}
 	}
 	if _, ok := s.cfg.Clusters[spec.Cluster]; !ok {
 		s.mu.Unlock()
-		return 0, fmt.Errorf("rms: unknown cluster %q", spec.Cluster)
+		return 0, fmt.Errorf("%w %q", ErrUnknownCluster, spec.Cluster)
 	}
 	id := s.nextReq
 	s.nextReq++
@@ -432,6 +495,7 @@ func (sess *Session) RequestObserved(spec RequestSpec, observe func(request.ID))
 		return 0, err
 	}
 	sess.app.SetFor(spec.Type).Add(r)
+	s.touchLocked(sess.app.ID)
 	s.churn[spec.Cluster]++
 	if s.cfg.Metrics != nil {
 		s.cfg.Metrics.IncCounter(sess.app.ID, metrics.ChurnRequests, 1)
@@ -461,7 +525,7 @@ func (sess *Session) Done(id request.ID, released []int) error {
 	r := sess.findRequestLocked(id)
 	if r == nil {
 		s.mu.Unlock()
-		return errRequest(id, "not found")
+		return errRequest(id, ReasonNotFound)
 	}
 	if r.Finished {
 		s.mu.Unlock()
@@ -471,6 +535,7 @@ func (sess *Session) Done(id request.ID, released []int) error {
 		// A pending request is simply withdrawn: it is gone from the sets at
 		// once, so it is reported as both finished and reaped.
 		sess.app.SetFor(r.Type).Remove(r)
+		s.touchLocked(sess.app.ID)
 		s.notifyFinishedLocked(sess, r.ID)
 		s.notifyReapedLocked(sess, []request.ID{r.ID})
 		s.requestRunLocked()
@@ -552,6 +617,7 @@ func (sess *Session) finishLocked(r *request.Request, now float64, released []in
 		r.Duration = 1e-9
 	}
 	r.Finished = true
+	s.touchLocked(sess.app.ID)
 
 	if r.Type == request.PreAlloc {
 		s.notifyFinishedLocked(sess, r.ID)
@@ -603,8 +669,10 @@ func (s *Server) teardownLocked(sess *Session) {
 		s.cfg.Metrics.SetPreAlloc(sess.app.ID, now, 0)
 	}
 	sess.killed = true
+	s.loadEpoch++
 	s.sched.RemoveApp(sess.app.ID)
 	delete(s.sessions, sess.app.ID)
+	s.idsOK = false
 	delete(s.lastViews, sess.app.ID)
 	delete(s.deficitSince, sess.app.ID)
 	s.requestRunLocked()
@@ -724,15 +792,23 @@ func (s *Server) runLocked() {
 func (s *Server) gcRequestsLocked(now float64) {
 	for _, id := range s.sessionIDsLocked() {
 		sess := s.sessions[id]
+		app := sess.app
+		before := app.PA.Len() + app.NP.Len() + app.P.Len()
+		if before == 0 {
+			continue
+		}
 		ro, observes := sess.h.(RequestObserver)
 		var reaped []request.ID
 		var collect func(*request.Request)
 		if observes {
 			collect = func(r *request.Request) { reaped = append(reaped, r.ID) }
 		}
-		sess.app.PA.GC(now, collect)
-		sess.app.NP.GC(now, collect)
-		sess.app.P.GC(now, collect)
+		app.PA.GC(now, collect)
+		app.NP.GC(now, collect)
+		app.P.GC(now, collect)
+		if app.PA.Len()+app.NP.Len()+app.P.Len() != before {
+			s.touchLocked(id)
+		}
 		if observes && len(reaped) > 0 {
 			sort.Slice(reaped, func(i, j int) bool { return reaped[i] < reaped[j] })
 			s.pending = append(s.pending, func() { ro.OnRequestsReaped(reaped) })
@@ -748,23 +824,30 @@ func (s *Server) gcRequestsLocked(now float64) {
 func (s *Server) sweepExpiredLocked(now float64) {
 	for _, id := range s.sessionIDsLocked() {
 		sess := s.sessions[id]
-		for _, r := range sess.app.Requests() {
-			if !r.Started() || r.Finished || r.End() > now+1e-9 {
-				continue
-			}
-			r.Finished = true
-			s.notifyFinishedLocked(sess, r.ID)
-			if r.Type == request.PreAlloc {
-				continue
-			}
-			if sess.hasPendingNextChildLocked(r) {
-				continue // IDs stay parked on r for hand-over
-			}
-			if len(r.NodeIDs) > 0 {
-				s.pools[r.Cluster].free(r.NodeIDs)
-				sess.held -= len(r.NodeIDs)
-				r.NodeIDs = nil
-				s.recordAllocLocked(sess, now)
+		app := sess.app
+		if app.PA.Len() == 0 && app.NP.Len() == 0 && app.P.Len() == 0 {
+			continue // request-less federated session: nothing to sweep
+		}
+		for _, set := range [...]*request.Set{app.PA, app.NP, app.P} {
+			for _, r := range set.All() {
+				if !r.Started() || r.Finished || r.End() > now+1e-9 {
+					continue
+				}
+				r.Finished = true
+				s.touchLocked(id)
+				s.notifyFinishedLocked(sess, r.ID)
+				if r.Type == request.PreAlloc {
+					continue
+				}
+				if sess.hasPendingNextChildLocked(r) {
+					continue // IDs stay parked on r for hand-over
+				}
+				if len(r.NodeIDs) > 0 {
+					s.pools[r.Cluster].free(r.NodeIDs)
+					sess.held -= len(r.NodeIDs)
+					r.NodeIDs = nil
+					s.recordAllocLocked(sess, now)
+				}
 			}
 		}
 	}
@@ -783,6 +866,7 @@ func (s *Server) startRequestsLocked(outcome *core.Outcome, now float64) {
 		switch r.Type {
 		case request.PreAlloc:
 			r.StartedAt = now
+			s.touchLocked(r.AppID)
 			h := sess.h
 			id := r.ID
 			s.pending = append(s.pending, func() { h.OnStart(id, nil) })
@@ -815,6 +899,7 @@ func (s *Server) startRequestsLocked(outcome *core.Outcome, now float64) {
 				if r.RelatedTo != nil && len(inherited) > 0 {
 					r.RelatedTo.NodeIDs = inherited
 				}
+				s.touchLocked(r.AppID)
 				s.recordAllocLocked(sess, now)
 				continue
 			}
@@ -824,6 +909,7 @@ func (s *Server) startRequestsLocked(outcome *core.Outcome, now float64) {
 			}
 			r.NodeIDs = ids
 			r.StartedAt = now
+			s.touchLocked(r.AppID)
 			sess.held += need
 			s.recordAllocLocked(sess, now)
 			h := sess.h
@@ -837,28 +923,43 @@ func (s *Server) startRequestsLocked(outcome *core.Outcome, now float64) {
 // pushViewsLocked queues OnViews notifications for applications whose views
 // changed since the last push. Views are trimmed to [now, ∞): their values
 // in the past are reconstruction artifacts.
+//
+// The scheduler shares view maps across applications (idle applications in
+// a CBF run see one map; idle preemptible applications share the idle
+// grant), so the trim is memoized by map identity — each distinct map is
+// trimmed once per round, not once per session.
 func (s *Server) pushViewsLocked(outcome *core.Outcome) {
 	now := s.clk.Now()
+	if s.trimMemo == nil {
+		s.trimMemo = make(map[uintptr]view.View)
+	}
+	clear(s.trimMemo)
+	trim := func(v view.View) view.View {
+		if v == nil {
+			return view.New()
+		}
+		key := reflect.ValueOf(v).Pointer()
+		if t, ok := s.trimMemo[key]; ok {
+			return t
+		}
+		t := v.TrimBefore(now)
+		s.trimMemo[key] = t
+		return t
+	}
 	for _, id := range s.sessionIDsLocked() {
 		sess := s.sessions[id]
-		np := outcome.NonPreemptViews[id]
-		p := outcome.PreemptViews[id]
-		if np == nil {
-			np = view.New()
-		}
-		if p == nil {
-			p = view.New()
-		}
-		np = np.TrimBefore(now)
-		p = p.TrimBefore(now)
+		np := trim(outcome.NonPreemptViews[id])
+		p := trim(outcome.PreemptViews[id])
 		last, seen := s.lastViews[id]
 		if seen && last[0].Equal(np) && last[1].Equal(p) {
 			continue
 		}
 		s.lastViews[id] = [2]view.View{np, p}
 		h := sess.h
-		npc, pc := np.Clone(), p.Clone()
-		s.pending = append(s.pending, func() { h.OnViews(npc, pc) })
+		// Views are pushed without cloning: the OnViews contract makes them
+		// immutable to the handler, and sessions sharing a map (idle
+		// applications) share one trimmed object.
+		s.pending = append(s.pending, func() { h.OnViews(np, p) })
 	}
 }
 
@@ -873,6 +974,10 @@ func (s *Server) enforcePreemptionLocked(now float64) float64 {
 	// notification order) deterministic.
 	for _, id := range s.sessionIDsLocked() {
 		sess := s.sessions[id]
+		if sess.app.P.Len() == 0 {
+			delete(s.deficitSince, id)
+			continue
+		}
 		deficit := false
 		for _, r := range sess.app.P.All() {
 			if r.Started() && !r.Finished && len(r.NodeIDs) > r.NAlloc {
@@ -924,15 +1029,21 @@ func (s *Server) recordPreAllocLocked(now float64) {
 func (s *Server) armWakeLocked(now float64, deadline float64) {
 	next := deadline
 	for _, sess := range s.sessions {
-		for _, r := range sess.app.Requests() {
-			if !r.Started() && !r.Finished && r.ScheduledAt > now && !math.IsInf(r.ScheduledAt, 1) {
-				if r.ScheduledAt < next {
-					next = r.ScheduledAt
+		app := sess.app
+		if app.PA.Len() == 0 && app.NP.Len() == 0 && app.P.Len() == 0 {
+			continue
+		}
+		for _, set := range [...]*request.Set{app.PA, app.NP, app.P} {
+			for _, r := range set.All() {
+				if !r.Started() && !r.Finished && r.ScheduledAt > now && !math.IsInf(r.ScheduledAt, 1) {
+					if r.ScheduledAt < next {
+						next = r.ScheduledAt
+					}
 				}
-			}
-			if r.Started() && !r.Finished {
-				if end := r.End(); end > now && end < next {
-					next = end
+				if r.Started() && !r.Finished {
+					if end := r.End(); end > now && end < next {
+						next = end
+					}
 				}
 			}
 		}

@@ -165,6 +165,11 @@ func (f *StepFunc) Clone() *StepFunc {
 
 // Equal reports whether f and g are the same function.
 func (f *StepFunc) Equal(g *StepFunc) bool {
+	if f == g {
+		// Profiles are immutable and widely shared (views cache and reuse
+		// them across scheduling rounds), so identity is a common fast path.
+		return true
+	}
 	if len(f.pts) != len(g.pts) {
 		return false
 	}

@@ -15,6 +15,7 @@ package view
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 	"strings"
 
@@ -73,13 +74,14 @@ func (v View) Clusters() []ClusterID {
 }
 
 // Clone returns a copy of the view (a fresh map; the immutable profiles are
-// shared).
+// shared). maps.Clone copies the table structure directly instead of
+// re-inserting every key — the merge-cache copy-on-write and the
+// scheduler's fold cloning sit on hot paths.
 func (v View) Clone() View {
-	out := make(View, len(v))
-	for cid, f := range v {
-		out[cid] = f
+	if v == nil {
+		return New()
 	}
-	return out
+	return maps.Clone(v)
 }
 
 // combine merges two views cluster-wise with op: first every cluster of a,
