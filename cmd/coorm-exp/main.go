@@ -20,13 +20,14 @@ import (
 	"coormv2/internal/chaos"
 	"coormv2/internal/experiments"
 	"coormv2/internal/federation"
+	"coormv2/internal/rms"
 	"coormv2/internal/stats"
 	"coormv2/internal/workload"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig9|fig10|fig11|ablation|accounting|replay|federated|chaos|rebalance|all")
+		exp   = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig9|fig10|fig11|ablation|accounting|replay|federated|chaos|nodechaos|rebalance|all")
 		seed  = flag.Int64("seed", 1, "base random seed")
 		full  = flag.Bool("full", false, "paper scale (1000 steps, 3.16 TiB) instead of the fast reduced scale")
 		steps = flag.Int("steps", 0, "override profile length (0 = scale default)")
@@ -94,6 +95,12 @@ func main() {
 		matched = true
 		run("Chaos — federated replay under seeded shard crash/recovery", func() error {
 			return chaosExp(*seed, sc)
+		})
+	}
+	if all || *exp == "nodechaos" {
+		matched = true
+		run("Node chaos — machine failures under kill/requeue/cooperative recovery", func() error {
+			return nodeChaosExp(*seed, sc)
 		})
 	}
 	if all || *exp == "rebalance" {
@@ -364,6 +371,8 @@ type scenarioOpts struct {
 	shards           int
 	crashRate        float64
 	restartDelay     float64
+	nodeMTTF         float64
+	nodeRepair       float64
 	clustersPerShard int
 	hotFrac          float64
 	rebalInterval    float64
@@ -377,6 +386,8 @@ func registerScenarioFlags() *scenarioOpts {
 	flag.IntVar(&sc.shards, "shards", 4, "shard count (federated: maximum, swept in powers of two)")
 	flag.Float64Var(&sc.crashRate, "crash-rate", 2, "chaos: expected crashes per shard per simulated hour (0 disables faults)")
 	flag.Float64Var(&sc.restartDelay, "restart-delay", 180, "chaos: mean shard restart delay in simulated seconds")
+	flag.Float64Var(&sc.nodeMTTF, "node-mttf", 1200, "nodechaos: per-cluster mean time between machine failures in simulated seconds (0 disables)")
+	flag.Float64Var(&sc.nodeRepair, "node-repair", 600, "nodechaos: mean machine repair time in simulated seconds")
 	flag.IntVar(&sc.clustersPerShard, "clusters-per-shard", 4, "rebalance: clusters initially partitioned onto each shard")
 	flag.Float64Var(&sc.hotFrac, "hot-frac", 0.75, "rebalance: fraction of the trace pinned to shard 0's clusters")
 	flag.Float64Var(&sc.rebalInterval, "rebalance-interval", 120, "rebalance: seconds between load checks")
@@ -455,6 +466,56 @@ func chaosExp(seed int64, sc *scenarioOpts) error {
 	fmt.Print(experiments.FormatTable(
 		[]string{"policy", "seed", "crashes", "done", "killed", "rejected",
 			"requeued", "replayed", "dropped", "mean-wait-s", "makespan-s", "used-%", "event-hash"}, out))
+	return nil
+}
+
+// nodeChaosExp compares the three node-recovery policies on the same seeded
+// machine-failure schedule: shard crashes are disabled, so every difference
+// between rows of a seed comes from how dying machines are handled. The
+// lost-work column (node·s of computation killed or repeated on rigid jobs)
+// is the §3.1.4 argument for cooperative recovery in one number; same seed ⇒
+// identical row including the event-stream hash.
+func nodeChaosExp(seed int64, sc *scenarioOpts) error {
+	opts := *sc
+	if opts.shards < 2 {
+		opts.shards = 2
+	}
+	jobs := workload.Synthetic(stats.NewRand(seed), workload.SyntheticConfig{
+		Jobs: 150, MaxNodes: 16, MeanInterArr: 60, MeanRuntime: 1200,
+		PowerOfTwoBias: 0.5,
+	})
+	st := workload.Summarize(jobs)
+	fmt.Printf("trace: %d jobs, %.3g node·s, max %d nodes/job; %d shards, node MTTF %.3gs, repair %.3gs\n",
+		st.Jobs, st.TotalArea, st.MaxNodes, opts.shards, opts.nodeMTTF, opts.nodeRepair)
+	var out [][]string
+	for _, pol := range []rms.NodeRecoveryPolicy{
+		rms.KillOnNodeFailure, rms.RequeueOnNodeFailure, rms.CooperativeOnNodeFailure,
+	} {
+		for s := seed; s < seed+3; s++ {
+			cfg := opts.chaosConfig(s, federation.RequeueOnCrash, jobs, false, false)
+			cfg.Chaos.MTTF = 0 // machine faults only — no shard crashes
+			cfg.Chaos.NodeMTTF = opts.nodeMTTF
+			cfg.Chaos.MeanNodeRecovery = opts.nodeRepair
+			cfg.NodeRecovery = pol
+			res, err := experiments.RunChaosReplay(cfg)
+			if err != nil {
+				return err
+			}
+			out = append(out, []string{
+				pol.String(), strconv.FormatInt(s, 10),
+				strconv.Itoa(res.NodeFails), strconv.Itoa(res.NodeRecovers),
+				strconv.Itoa(res.Completed), strconv.Itoa(res.Killed),
+				strconv.Itoa(res.NodeKilled), strconv.Itoa(res.NodeRequeued), strconv.Itoa(res.NodeReduced),
+				f(res.LostWork, 0), strconv.Itoa(res.Resubmits),
+				f(res.MeanWait, 1), f(100*res.UsedFraction, 2),
+				fmt.Sprintf("%016x", res.EventHash),
+			})
+		}
+	}
+	fmt.Print(experiments.FormatTable(
+		[]string{"policy", "seed", "node-fails", "recovers", "done", "killed",
+			"n-killed", "n-requeued", "n-reduced", "lost-node-s", "resubmits",
+			"mean-wait-s", "used-%", "event-hash"}, out))
 	return nil
 }
 

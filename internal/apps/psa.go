@@ -190,6 +190,30 @@ func (p *PSA) OnKill(reason string) {
 	p.cancelTimers()
 }
 
+// OnNodeFailure reacts to machine failures. The RMS already stripped the
+// dead nodes from the preemptible allocation (revocation is within the P
+// contract, so the action is always a reduction): the PSA records the
+// in-progress work lost on them as waste, forgets the nodes, and re-plans
+// against the shrunken holding — claiming replacement capacity as soon as
+// the views show any.
+func (p *PSA) OnNodeFailure(ev rms.NodeFailure) {
+	if p.killed || p.Err != nil || len(ev.LostIDs) == 0 {
+		return
+	}
+	now := p.now()
+	p.rollForward(now)
+	for _, nodeID := range ev.LostIDs {
+		for i, nd := range p.nodes {
+			if nd.id == nodeID {
+				p.recordWaste(p.elapsed(nd, now), "node-failure")
+				p.nodes = append(p.nodes[:i], p.nodes[i+1:]...)
+				break
+			}
+		}
+	}
+	p.plan()
+}
+
 // rollForward advances every node's current-task start past completed
 // tasks, counting them. Nodes never roll past their stop mark: after it
 // they idle instead of starting a task that is known to be doomed.

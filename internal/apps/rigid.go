@@ -29,12 +29,27 @@ type Rigid struct {
 	Ended     bool
 	// OnEnd, when set, runs at the job's completion (replay bookkeeping).
 	OnEnd func()
+
+	// LostWork accumulates the node·seconds of computation lost to node
+	// failures: a killed run's elapsed work, or a requeued run's elapsed work
+	// (it will be repeated from scratch). Cooperative recovery checkpoints at
+	// the failure, so it adds nothing here.
+	LostWork float64
+	// Resubmits counts cooperative recoveries: the job checkpointed and
+	// resubmitted its remaining duration under a fresh request.
+	Resubmits int
 }
 
 // NewRigid creates a rigid application.
 func NewRigid(clk clock.Clock, cid view.ClusterID, n int, duration float64) *Rigid {
 	return &Rigid{base: base{clk: clk}, Cluster: cid, N: n, Duration: duration}
 }
+
+// RequestID returns the job's current request ID: the original submission,
+// or the latest cooperative resubmission. Harnesses settling on
+// server-authoritative events compare against it, so a finish of a
+// checkpoint-superseded request is not mistaken for the job's completion.
+func (r *Rigid) RequestID() request.ID { return r.reqID }
 
 // Submit sends the single non-preemptible request.
 func (r *Rigid) Submit() error {
@@ -81,4 +96,68 @@ func (r *Rigid) OnStart(id request.ID, nodeIDs []int) {
 			r.OnEnd()
 		}
 	})
+}
+
+// OnNodeFailure makes the rigid job crash-aware. Killed and requeued runs
+// cancel the stale end timer immediately — the failure is the crash signal
+// the OnStart-only path lacked, so the first run's timer can no longer
+// settle the job while nothing (or a from-scratch re-run) is executing.
+// Under cooperative recovery (action reduced) the job checkpoints: the
+// elapsed work is preserved, a fresh request for the *remaining* duration at
+// full width is submitted, and only then is the reduced allocation released
+// — the submit-then-done order keeps r.reqID valid at every observable
+// instant (Done flushes the old request's finish synchronously).
+func (r *Rigid) OnNodeFailure(ev rms.NodeFailure) {
+	if ev.Request != r.reqID || !r.Started || r.Ended || r.killed {
+		return
+	}
+	now := r.now()
+	elapsed := now - r.StartTime
+	if r.endTimer != nil {
+		r.endTimer.Stop()
+		r.endTimer = nil
+	}
+	switch ev.Action {
+	case rms.NodeFaultKilled:
+		// The job is gone (§3.1.4): its elapsed work is lost for good. The
+		// reap notification settles harness-side bookkeeping.
+		r.LostWork += elapsed * float64(r.N)
+		r.Started = false
+		r.NodeIDs = nil
+	case rms.NodeFaultRequeued:
+		// The same request re-runs from scratch when placed again; the
+		// elapsed work will be repeated.
+		r.LostWork += elapsed * float64(r.N)
+		r.Started = false
+		r.NodeIDs = nil
+	case rms.NodeFaultReduced:
+		remaining := r.Duration - elapsed
+		survivors := append([]int(nil), ev.Remaining...)
+		old := r.reqID
+		if remaining <= 0 {
+			// The run was complete at the failure instant; nothing to resubmit.
+			if err := r.sess.Done(old, survivors); err == nil {
+				r.Ended = true
+				r.EndTime = now
+				if r.OnEnd != nil {
+					r.OnEnd()
+				}
+			}
+			return
+		}
+		id, err := r.sess.Request(rms.RequestSpec{
+			Cluster: r.Cluster, N: r.N, Duration: remaining, Type: request.NonPreempt,
+		})
+		if err != nil {
+			// Cannot resubmit (e.g. the session is being torn down): the
+			// reduced allocation idles and the checkpoint is moot.
+			r.LostWork += elapsed * float64(len(ev.LostIDs))
+			return
+		}
+		r.reqID = id
+		r.Resubmits++
+		r.Started = false
+		r.NodeIDs = nil
+		_ = r.sess.Done(old, survivors)
+	}
 }

@@ -36,6 +36,17 @@ type Config struct {
 	// MaxFaultsPerShard caps the crashes of one shard; 0 means unlimited
 	// (bounded by the horizon alone).
 	MaxFaultsPerShard int
+
+	// NodeMTTF is the mean time between machine failures on one cluster
+	// (exponential; cluster-level rate, not per machine). Zero disables node
+	// faults — shard-only plans are unchanged.
+	NodeMTTF float64
+	// MeanNodeRecovery is the mean repair time of a failed machine
+	// (exponential).
+	MeanNodeRecovery float64
+	// MaxNodeFaultsPerCluster caps the machine failures of one cluster; 0
+	// means unlimited (bounded by the horizon alone).
+	MaxNodeFaultsPerCluster int
 }
 
 // Fault is one crash/restart cycle of one shard.
@@ -96,10 +107,12 @@ type Injector struct {
 	// after every crash and every restart; the first failure is retained.
 	CheckAfterFault bool
 
-	trace    []string
-	crashes  int
-	restarts int
-	invErr   error
+	trace        []string
+	crashes      int
+	restarts     int
+	nodeFails    int
+	nodeRecovers int
+	invErr       error
 }
 
 // NewInjector binds a plan to an engine and federation. Call Arm before

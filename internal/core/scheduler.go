@@ -177,6 +177,28 @@ func (s *Scheduler) AddCluster(cid view.ClusterID, n int) {
 	s.bumpStruct()
 }
 
+// SetCapacity changes a cluster's node count in place — the node-level
+// fault path: a failed node shrinks the cluster, a recovered one grows it
+// back. Capacity is an input to the cached per-cluster base-availability
+// folds (rebuildFoldClusterLocked), so the change bumps the structural
+// generation: every cached artifact is invalidated and the next Schedule
+// round recomputes from scratch, exactly as a full-recompute round would.
+// Setting an unknown cluster or a negative capacity panics.
+func (s *Scheduler) SetCapacity(cid view.ClusterID, n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("core: negative capacity for cluster %s", cid))
+	}
+	old, ok := s.clusters[cid]
+	if !ok {
+		panic(fmt.Sprintf("core: setting capacity of unknown cluster %s", cid))
+	}
+	if old == n {
+		return
+	}
+	s.clusters[cid] = n
+	s.bumpStruct()
+}
+
 // RemoveCluster removes a cluster from the resource model. The caller owns
 // the migration of any request state that references it: the scheduler keeps
 // no per-cluster state beyond the capacity entry (round scratch is rebuilt

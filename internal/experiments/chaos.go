@@ -10,6 +10,7 @@ import (
 	"coormv2/internal/federation"
 	"coormv2/internal/metrics"
 	"coormv2/internal/request"
+	"coormv2/internal/rms"
 	"coormv2/internal/sim"
 	"coormv2/internal/view"
 	"coormv2/internal/workload"
@@ -48,6 +49,9 @@ type ChaosReplayConfig struct {
 	PSATaskDur float64
 	// Recovery selects what happens to sessions whose shard crashes.
 	Recovery federation.RecoveryPolicy
+	// NodeRecovery selects what happens to started requests that lose
+	// machines to node-level faults (armed when Chaos.NodeMTTF > 0).
+	NodeRecovery rms.NodeRecoveryPolicy
 	// Chaos seeds and shapes the fault plan.
 	Chaos chaos.Config
 	// MaxSimTime aborts runaway replays (default 10^9 s).
@@ -78,6 +82,21 @@ type ChaosReplayResult struct {
 
 	Crashes  int
 	Restarts int
+
+	// Node-fault accounting (zero when Chaos.NodeMTTF == 0). NodeFails and
+	// NodeRecovers count unique injected machine events; NodeKilled/
+	// NodeRequeued/NodeReduced count affected requests by the action taken
+	// (re-applications after a shard restart included). LostWork sums the
+	// rigid jobs' node·seconds of lost computation (killed runs, repeated
+	// requeued runs); Resubmits counts cooperative checkpoint-resubmissions.
+	NodePolicy   rms.NodeRecoveryPolicy
+	NodeFails    int
+	NodeRecovers int
+	NodeKilled   int
+	NodeRequeued int
+	NodeReduced  int
+	LostWork     float64
+	Resubmits    int
 
 	// Migrations/MigratedRequests/MigrationTrace report the rebalancer's
 	// work (zero/empty when ChaosReplayConfig.Rebalance is nil).
@@ -141,17 +160,29 @@ func (w *chaosRigid) OnKill(reason string) {
 // Unlike the application's own end timer, it is delivered exactly when the
 // allocation actually finished — including after a crash-requeued re-run,
 // whose first-run timer would otherwise settle the job while the re-run is
-// still queued or executing.
-func (w *chaosRigid) OnRequestFinished(request.ID) {
+// still queued or executing. Only the job's *current* request counts: a
+// cooperative node-failure recovery finishes the superseded request while
+// the resubmitted remainder is still pending, and that finish is a
+// checkpoint hand-over, not a completion.
+func (w *chaosRigid) OnRequestFinished(id request.ID) {
+	if id != w.RequestID() {
+		return
+	}
 	w.settleOnce("completed")
 }
 
-// OnRequestsReaped settles a job whose request was dropped: a reap without a
-// preceding finish means the work never completed (replay rejected, or the
-// queue entry withdrawn), so the job counts as killed. After a normal finish
-// this is a no-op — the job already settled as completed.
-func (w *chaosRigid) OnRequestsReaped([]request.ID) {
-	w.settleOnce("killed")
+// OnRequestsReaped settles a job whose current request was dropped: a reap
+// without a preceding finish means the work never completed (killed by a
+// node failure, replay rejected, or the queue entry withdrawn), so the job
+// counts as killed. Reaps of superseded requests (a cooperative recovery's
+// released predecessor) and reaps after a normal finish are no-ops.
+func (w *chaosRigid) OnRequestsReaped(ids []request.ID) {
+	for _, id := range ids {
+		if id == w.RequestID() {
+			w.settleOnce("killed")
+			return
+		}
+	}
 }
 
 // RunChaosReplay replays a rigid-job stream through a federated RMS while a
@@ -218,6 +249,7 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 		ReschedInterval: 1,
 		Clock:           clk,
 		Recovery:        cfg.Recovery,
+		NodeRecovery:    cfg.NodeRecovery,
 		FullRecompute:   cfg.FullRecompute,
 		Metrics: func(int) *metrics.Recorder {
 			r := metrics.NewRecorder()
@@ -234,6 +266,7 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 	inj := chaos.NewInjector(e, fed, chaos.Plan(cfg.Chaos, cfg.Shards))
 	inj.CheckAfterFault = true
 	inj.Arm()
+	inj.ArmNodes(chaos.PlanNodes(cfg.Chaos, clusters))
 
 	// Rebalancing runs as deterministic "rebalance.check" timer events on the
 	// shared clock, interleaving with the fault plan; the invariant checker
@@ -270,9 +303,10 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 	}
 
 	res := &ChaosReplayResult{
-		Shards: cfg.Shards,
-		Nodes:  totalClusters * cfg.NodesPerShard,
-		Policy: cfg.Recovery,
+		Shards:     cfg.Shards,
+		Nodes:      totalClusters * cfg.NodesPerShard,
+		Policy:     cfg.Recovery,
+		NodePolicy: cfg.NodeRecovery,
 	}
 	remaining := len(cfg.Jobs)
 	var waitSum float64
@@ -294,6 +328,8 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 			case "rejected":
 				res.Rejected++
 			}
+			res.LostWork += w.LostWork
+			res.Resubmits += w.Resubmits
 			remaining--
 			if remaining == 0 {
 				e.Stop()
@@ -364,6 +400,8 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 
 	res.Crashes = inj.Crashes()
 	res.Restarts = inj.Restarts()
+	res.NodeFails = inj.NodeFails()
+	res.NodeRecovers = inj.NodeRecovers()
 	res.Trace = inj.Trace()
 	if rb != nil {
 		res.Migrations = rb.Migrations()
@@ -380,6 +418,9 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 	res.RequeuedRequests = agg.TotalCount(metrics.RequeuedRequests)
 	res.ReplayedRequests = agg.TotalCount(metrics.ReplayedRequests)
 	res.DroppedRequests = agg.TotalCount(metrics.DroppedRequests)
+	res.NodeKilled = agg.TotalCount(metrics.NodeKilledRequests)
+	res.NodeRequeued = agg.TotalCount(metrics.NodeRequeuedRequests)
+	res.NodeReduced = agg.TotalCount(metrics.NodeReducedRequests)
 	res.Makespan = e.Now()
 	res.Events = e.Processed()
 	res.EventHash = hash

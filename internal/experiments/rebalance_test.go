@@ -7,6 +7,7 @@ import (
 
 	"coormv2/internal/chaos"
 	"coormv2/internal/federation"
+	"coormv2/internal/rms"
 	"coormv2/internal/stats"
 	"coormv2/internal/workload"
 )
@@ -153,18 +154,31 @@ func TestChaosRebalanceMatrix(t *testing.T) {
 
 // TestIncrementalMatchesFullRecomputeChaosMatrix is the system-level half
 // of the incremental-scheduling differential: the same seeded
-// chaos×migration replay — crashes, restarts, replay queues, live cluster
-// migrations, per-fault invariant checks — runs with incremental
-// recomputation on and off, and every result field must match byte for
-// byte, including the fault trace, migration trace and the event-stream
-// fingerprint. Cache invalidation across crash/restart/migration is the
-// risky part of the incremental scheduler; this pins it end to end.
+// chaos×migration×node-fault replay — crashes, restarts, replay queues,
+// live cluster migrations, machine failures/recoveries, per-fault invariant
+// checks — runs with incremental recomputation on and off, and every result
+// field must match byte for byte, including the fault trace, migration
+// trace and the event-stream fingerprint. Cache invalidation across
+// crash/restart/migration/capacity-change is the risky part of the
+// incremental scheduler; this pins it end to end. The node-recovery policy
+// cycles across the matrix so all three (kill/requeue/cooperative) hit the
+// differential.
 func TestIncrementalMatchesFullRecomputeChaosMatrix(t *testing.T) {
+	nodePols := []rms.NodeRecoveryPolicy{
+		rms.KillOnNodeFailure, rms.RequeueOnNodeFailure, rms.CooperativeOnNodeFailure,
+	}
+	entry := 0
+	nodeFaults := 0
 	for _, seed := range []int64{7, 23} {
 		for _, pol := range []federation.RecoveryPolicy{federation.KillOnCrash, federation.RequeueOnCrash} {
 			cfg := rebalanceTestConfig(seed, true)
 			cfg.Recovery = pol
-			cfg.Chaos = chaos.Config{Seed: seed, MTTF: 900, MeanRestartDelay: 120, Horizon: 3000}
+			cfg.NodeRecovery = nodePols[entry%len(nodePols)]
+			entry++
+			cfg.Chaos = chaos.Config{
+				Seed: seed, MTTF: 900, MeanRestartDelay: 120, Horizon: 3000,
+				NodeMTTF: 600, MeanNodeRecovery: 200,
+			}
 
 			inc, err := RunChaosReplay(cfg)
 			if err != nil {
@@ -179,6 +193,10 @@ func TestIncrementalMatchesFullRecomputeChaosMatrix(t *testing.T) {
 				t.Errorf("seed %d %v: incremental run diverged from full recomputation\nincremental: %+v\nfull: %+v",
 					seed, pol, inc, full)
 			}
+			nodeFaults += inc.NodeFails
 		}
+	}
+	if nodeFaults == 0 {
+		t.Fatal("no matrix entry injected node faults; the capacity-change differential is untested")
 	}
 }

@@ -108,6 +108,9 @@ type Config struct {
 	// Recovery selects the shard-crash recovery policy (default:
 	// KillOnCrash, the paper's §3.1.4 semantics).
 	Recovery RecoveryPolicy
+	// NodeRecovery selects the per-request node-failure recovery policy,
+	// applied uniformly by every shard (default: KillOnNodeFailure).
+	NodeRecovery rms.NodeRecoveryPolicy
 	// FederationMetrics, when non-nil, receives the fault-recovery counters
 	// (killed sessions, requeued/replayed/dropped requests) keyed by
 	// federated application ID. It must be a recorder of its own, not one of
@@ -121,10 +124,11 @@ type Config struct {
 
 // Federator routes application sessions across a set of rms.Server shards.
 type Federator struct {
-	shards   []*rms.Server
-	clk      clock.Clock
-	recovery RecoveryPolicy
-	fedRec   *metrics.Recorder
+	shards       []*rms.Server
+	clk          clock.Clock
+	recovery     RecoveryPolicy
+	nodeRecovery rms.NodeRecoveryPolicy
+	fedRec       *metrics.Recorder
 
 	// topoMu serializes topology transitions — CrashShard, RestartShard and
 	// MigrateCluster — against each other, so a migration can never observe a
@@ -140,6 +144,11 @@ type Federator struct {
 	nextReq  request.ID
 	down     []bool           // per-shard crashed flag
 	sessions map[int]*Session // live federated sessions by app ID
+	// failedNodes is the authoritative per-cluster record of down machines
+	// (sorted ascending). It outlives shard crashes — RestartShard re-applies
+	// it to the fresh shard — and follows a cluster through migration via the
+	// rms.ClusterSnapshot.
+	failedNodes map[view.ClusterID][]int
 
 	// Merge-cache counters (atomics: sessions record them under sess.mu,
 	// which is per-session). remergedShards counts shard views whose epoch
@@ -214,15 +223,17 @@ func New(cfg Config) *Federator {
 	}
 	parts := Partition(cfg.Clusters, cfg.Shards)
 	f := &Federator{
-		shards:   make([]*rms.Server, len(parts)),
-		owner:    make(map[view.ClusterID]int, len(cfg.Clusters)),
-		clk:      cfg.Clock,
-		recovery: cfg.Recovery,
-		fedRec:   cfg.FederationMetrics,
-		down:     make([]bool, len(parts)),
-		sessions: make(map[int]*Session),
-		nextApp:  1,
-		nextReq:  1,
+		shards:       make([]*rms.Server, len(parts)),
+		owner:        make(map[view.ClusterID]int, len(cfg.Clusters)),
+		clk:          cfg.Clock,
+		recovery:     cfg.Recovery,
+		nodeRecovery: cfg.NodeRecovery,
+		fedRec:       cfg.FederationMetrics,
+		down:         make([]bool, len(parts)),
+		sessions:     make(map[int]*Session),
+		failedNodes:  make(map[view.ClusterID][]int),
+		nextApp:      1,
+		nextReq:      1,
 	}
 	for i, part := range parts {
 		var rec *metrics.Recorder
@@ -237,6 +248,7 @@ func New(cfg Config) *Federator {
 			GracePeriod:     cfg.GracePeriod,
 			Clip:            clipFor(cfg.Clip, part),
 			Metrics:         rec,
+			NodeRecovery:    cfg.NodeRecovery,
 			FullRecompute:   cfg.FullRecompute,
 		})
 		for cid := range part {
@@ -362,6 +374,9 @@ func (f *Federator) ShardDown(i int) bool {
 // Recovery returns the configured crash-recovery policy.
 func (f *Federator) Recovery() RecoveryPolicy { return f.recovery }
 
+// NodeRecovery returns the node-failure recovery policy every shard runs.
+func (f *Federator) NodeRecovery() rms.NodeRecoveryPolicy { return f.nodeRecovery }
+
 // CrashReport summarizes what one shard crash did to the federation.
 type CrashReport struct {
 	Shard  int
@@ -475,6 +490,11 @@ func (f *Federator) RestartShard(i int) RestartReport {
 		return rep
 	}
 	f.shards[i].Reset()
+	// Re-apply the recorded node failures before marking the shard up and
+	// re-admitting anyone: the machines are still dead, only the scheduler
+	// state was lost. The fresh server has no sessions, so this only shrinks
+	// pool capacity.
+	f.reapplyFailedNodesLocked(i)
 	f.down[i] = false
 	sessions := f.sessionsLocked()
 	f.mu.Unlock()
@@ -514,6 +534,10 @@ func (f *Federator) CheckInvariants() error {
 	for cid, i := range f.owner {
 		owner[cid] = i
 	}
+	failed := make(map[view.ClusterID][]int, len(f.failedNodes))
+	for cid, ids := range f.failedNodes {
+		failed[cid] = append([]int(nil), ids...)
+	}
 	sessions := f.sessionsLocked()
 	f.mu.Unlock()
 
@@ -552,6 +576,20 @@ func (f *Federator) CheckInvariants() error {
 		}
 		if err := sh.CheckInvariants(); err != nil {
 			return fmt.Errorf("federation: shard %d: %w", i, err)
+		}
+		// The shard's per-cluster failed-node sets must match the federation's
+		// authoritative record exactly (both sorted ascending).
+		for cid := range sh.Clusters() {
+			got := sh.FailedNodeIDs(cid)
+			want := failed[cid]
+			if len(got) != len(want) {
+				return fmt.Errorf("federation: shard %d has %d failed nodes on %q, record says %d", i, len(got), cid, len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					return fmt.Errorf("federation: shard %d failed nodes on %q = %v, record says %v", i, cid, got, want)
+				}
+			}
 		}
 		ids := sh.SessionIDs()
 		admitted := make(map[int]bool, len(ids))

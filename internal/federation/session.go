@@ -830,3 +830,39 @@ func (h *shardHandler) OnRequestsReaped(ids []request.ID) {
 // killing shard's own sub-session is a harmless no-op (it is already marked
 // killed shard-side before this notification is flushed).
 func (h *shardHandler) OnKill(reason string) { h.sess.teardown(reason) }
+
+// CooperatesOnNodeFailure answers for the application behind the handler:
+// the shardHandler itself always implements rms.NodeFailureHandler (it must
+// forward events), so without this the shard would treat every federated app
+// as cooperative and strand reduced allocations nobody acts on.
+func (h *shardHandler) CooperatesOnNodeFailure() bool {
+	return rms.CooperatesOnNodeFailure(h.sess.h)
+}
+
+// OnNodeFailure translates a node-failure event into the federated ID space
+// and forwards it to applications implementing rms.NodeFailureHandler. A
+// requeued request also clears its recorded start: it is pending again, and
+// a later shard crash must read it as interrupted work to be replayed, not
+// as an allocation that ran out its duration.
+func (h *shardHandler) OnNodeFailure(ev rms.NodeFailure) {
+	s := h.sess
+	s.mu.Lock()
+	fid, ok := s.fromLocal[h.shard][ev.Request]
+	if ok && ev.Action == rms.NodeFaultRequeued {
+		if e := s.toLocal[fid]; e != nil {
+			e.started = false
+			e.startedAt = 0
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		// The mapping is registered under the shard lock before any node
+		// event can touch the request; a miss mirrors OnStart's contract.
+		panic(fmt.Sprintf("federation: shard %d reported node failure on unknown request %d for app %d", h.shard, ev.Request, s.id))
+	}
+	if nh, obs := s.h.(rms.NodeFailureHandler); obs {
+		fev := ev
+		fev.Request = fid
+		nh.OnNodeFailure(fev)
+	}
+}

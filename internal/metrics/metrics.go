@@ -75,6 +75,21 @@ const (
 	// (pseudo-app 0) for the epoch-cached view merge.
 	RemergedShardViews
 	ReusedShardViews
+	// FailedNodes / RecoveredNodes count individual node failures and
+	// recoveries injected into a cluster (internal/rms.FailNodes and
+	// RecoverNodes). Recorded under pseudo-app 0: a machine dying is not
+	// attributable to one application.
+	FailedNodes
+	RecoveredNodes
+	// NodeKilledRequests counts started requests terminated because a node
+	// they held died under the kill policy (§3.1.4 applied per request);
+	// NodeRequeuedRequests counts requests reset to pending for a full
+	// re-run; NodeReducedRequests counts requests that kept running on
+	// their surviving nodes under the cooperative policy (the application
+	// was notified and chose checkpoint/resubmit behaviour itself).
+	NodeKilledRequests
+	NodeRequeuedRequests
+	NodeReducedRequests
 
 	numCounters
 )
@@ -100,6 +115,16 @@ func (c Counter) String() string {
 		return "remerged-shard-views"
 	case ReusedShardViews:
 		return "reused-shard-views"
+	case FailedNodes:
+		return "failed-nodes"
+	case RecoveredNodes:
+		return "recovered-nodes"
+	case NodeKilledRequests:
+		return "node-killed-requests"
+	case NodeRequeuedRequests:
+		return "node-requeued-requests"
+	case NodeReducedRequests:
+		return "node-reduced-requests"
 	default:
 		return fmt.Sprintf("Counter(%d)", uint8(c))
 	}

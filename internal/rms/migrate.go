@@ -70,8 +70,13 @@ type ClusterSnapshot struct {
 	Cluster view.ClusterID
 	Nodes   int
 	// FreeIDs is the node-ID pool's free list; IDs absent from it are held
-	// by the snapshot's requests (the attach side re-forms the exact pool).
+	// by the snapshot's requests or down (the attach side re-forms the
+	// exact pool).
 	FreeIDs []int
+	// FailedIDs are the node IDs currently down (ascending): a cluster
+	// migrates with its degraded capacity, and the importing server resumes
+	// scheduling against Nodes − len(FailedIDs) working nodes.
+	FailedIDs []int
 	// Churn carries the cluster's cumulative accepted-request counter so
 	// rebalancer load deltas survive the move.
 	Churn int64
@@ -151,7 +156,7 @@ func (s *Server) ClusterLoads() []ClusterLoad {
 		out = append(out, ClusterLoad{
 			Cluster: cid,
 			Nodes:   pool.size,
-			Held:    pool.size - pool.available(),
+			Held:    pool.size - pool.available() - len(pool.failed),
 			Firm:    firm[cid],
 			Churn:   s.churn[cid],
 		})
@@ -202,10 +207,11 @@ func (s *Server) DetachCluster(cid view.ClusterID) (*ClusterSnapshot, error) {
 
 	now := s.clk.Now()
 	snap := &ClusterSnapshot{
-		Cluster: cid,
-		Nodes:   pool.size,
-		FreeIDs: append([]int(nil), pool.freeIDs...),
-		Churn:   s.churn[cid],
+		Cluster:   cid,
+		Nodes:     pool.size,
+		FreeIDs:   append([]int(nil), pool.freeIDs...),
+		FailedIDs: pool.failedIDs(),
+		Churn:     s.churn[cid],
 	}
 	for _, id := range s.sessionIDsLocked() {
 		sess := s.sessions[id]
@@ -301,10 +307,16 @@ func (s *Server) AttachCluster(snap *ClusterSnapshot, observe func(appID int, ol
 		return fmt.Errorf("rms: cluster %q already attached", snap.Cluster)
 	}
 	s.cfg.Clusters[snap.Cluster] = snap.Nodes
-	pool := &idPool{size: snap.Nodes, freeIDs: append([]int(nil), snap.FreeIDs...)}
+	pool := &idPool{
+		size:    snap.Nodes,
+		freeIDs: append([]int(nil), snap.FreeIDs...),
+		failed:  append([]int(nil), snap.FailedIDs...),
+	}
 	s.pools[snap.Cluster] = pool
 	s.churn[snap.Cluster] = snap.Churn
-	s.sched.AddCluster(snap.Cluster, snap.Nodes)
+	// The scheduler plans against working nodes only: a cluster migrates
+	// with its degraded capacity.
+	s.sched.AddCluster(snap.Cluster, pool.capacity())
 	if snap.Clip != nil {
 		if s.cfg.Clip == nil {
 			s.cfg.Clip = view.New()

@@ -1,0 +1,369 @@
+package rms
+
+import (
+	"math"
+	"testing"
+
+	"coormv2/internal/clock"
+	"coormv2/internal/request"
+	"coormv2/internal/sim"
+	"coormv2/internal/view"
+)
+
+// nodeApp is a testApp that also observes finishes, reaps and node failures.
+type nodeApp struct {
+	testApp
+	finished []request.ID
+	reaped   []request.ID
+	failures []NodeFailure
+}
+
+func (a *nodeApp) OnRequestFinished(id request.ID)   { a.finished = append(a.finished, id) }
+func (a *nodeApp) OnRequestsReaped(ids []request.ID) { a.reaped = append(a.reaped, ids...) }
+func (a *nodeApp) OnNodeFailure(ev NodeFailure)      { a.failures = append(a.failures, ev) }
+
+func newNodeFaultServer(t *testing.T, nodes int, pol NodeRecoveryPolicy) (*sim.Engine, *Server) {
+	t.Helper()
+	e := sim.NewEngine()
+	s := NewServer(Config{
+		Clusters:        map[view.ClusterID]int{c0: nodes},
+		ReschedInterval: 1,
+		Clock:           clock.SimClock{E: e},
+		NodeRecovery:    pol,
+	})
+	return e, s
+}
+
+func mustCheck(t *testing.T, s *Server) {
+	t.Helper()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+func TestFailFreeNodeShrinksCapacity(t *testing.T) {
+	e, s := newNodeFaultServer(t, 10, KillOnNodeFailure)
+	app := &nodeApp{}
+	app.sess = s.Connect(app)
+	e.RunAll()
+
+	rep, err := s.FailNodes(c0, []int{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Capacity != 8 || rep.Killed != 0 || rep.Requeued != 0 || rep.Reduced != 0 {
+		t.Fatalf("report = %+v, want capacity 8 and no affected requests", rep)
+	}
+	mustCheck(t, s)
+	e.RunAll()
+	// The next rounds plan against 8 nodes: a full-width request fills the
+	// degraded cluster exactly and never touches a dead ID.
+	id, err := app.sess.Request(RequestSpec{Cluster: c0, N: 8, Duration: 5, Type: request.NonPreempt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunAll()
+	if len(app.starts) != 1 || app.starts[0].id != id {
+		t.Fatalf("starts = %v, want the 8-wide request started", app.starts)
+	}
+	for _, nid := range app.starts[0].ids {
+		if nid == 3 || nid == 7 {
+			t.Fatalf("allocation %v includes a dead node", app.starts[0].ids)
+		}
+	}
+	mustCheck(t, s)
+}
+
+func TestFailNodesKillPolicy(t *testing.T) {
+	e, s := newNodeFaultServer(t, 10, KillOnNodeFailure)
+	app := &nodeApp{}
+	app.sess = s.Connect(app)
+	id, err := app.sess.Request(RequestSpec{Cluster: c0, N: 4, Duration: 1000, Type: request.NonPreempt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(5)
+	if len(app.starts) != 1 {
+		t.Fatal("request did not start")
+	}
+	victim := app.starts[0].ids[0]
+
+	rep, err := s.FailNodes(c0, []int{victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Killed != 1 || rep.Capacity != 9 {
+		t.Fatalf("report = %+v, want 1 killed, capacity 9", rep)
+	}
+	mustCheck(t, s)
+	// Kill is a reap without a preceding finish: the lost-work signal.
+	if len(app.finished) != 0 {
+		t.Errorf("finished = %v, want none (killed, not completed)", app.finished)
+	}
+	if len(app.reaped) != 1 || app.reaped[0] != id {
+		t.Errorf("reaped = %v, want [%d]", app.reaped, id)
+	}
+	if len(app.failures) != 1 || app.failures[0].Action != NodeFaultKilled {
+		t.Fatalf("failures = %+v, want one killed event", app.failures)
+	}
+	if got := app.failures[0].LostIDs; len(got) != 1 || got[0] != victim {
+		t.Errorf("LostIDs = %v, want [%d]", got, victim)
+	}
+	// The three survivors went back to the pool: 10 − 1 failed − 0 held.
+	if got := s.pools[c0].available(); got != 9 {
+		t.Errorf("available = %d, want 9", got)
+	}
+	e.RunAll()
+	mustCheck(t, s)
+}
+
+func TestFailNodesRequeuePolicy(t *testing.T) {
+	e, s := newNodeFaultServer(t, 4, RequeueOnNodeFailure)
+	app := &nodeApp{}
+	app.sess = s.Connect(app)
+	id, err := app.sess.Request(RequestSpec{Cluster: c0, N: 2, Duration: 50, Type: request.NonPreempt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(5)
+	if len(app.starts) != 1 {
+		t.Fatal("request did not start")
+	}
+	victim := app.starts[0].ids[0]
+
+	rep, err := s.FailNodes(c0, []int{victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requeued != 1 || rep.Capacity != 3 {
+		t.Fatalf("report = %+v, want 1 requeued, capacity 3", rep)
+	}
+	mustCheck(t, s)
+	if len(app.failures) != 1 || app.failures[0].Action != NodeFaultRequeued {
+		t.Fatalf("failures = %+v, want one requeued event", app.failures)
+	}
+	e.RunAll()
+	// The re-run got a fresh 2-node allocation on the 3 surviving nodes and
+	// ran to completion.
+	if len(app.starts) != 2 {
+		t.Fatalf("starts = %v, want a re-start after the requeue", app.starts)
+	}
+	if app.starts[1].id != id {
+		t.Errorf("re-start id = %d, want %d (same request)", app.starts[1].id, id)
+	}
+	for _, nid := range app.starts[1].ids {
+		if nid == victim {
+			t.Fatalf("re-run allocation %v includes the dead node", app.starts[1].ids)
+		}
+	}
+	if len(app.finished) != 1 || app.finished[0] != id {
+		t.Errorf("finished = %v, want [%d]", app.finished, id)
+	}
+	mustCheck(t, s)
+}
+
+func TestFailNodesCooperativeReducesForHandlers(t *testing.T) {
+	e, s := newNodeFaultServer(t, 10, CooperativeOnNodeFailure)
+	app := &nodeApp{}
+	app.sess = s.Connect(app)
+	if _, err := app.sess.Request(RequestSpec{Cluster: c0, N: 4, Duration: 1000, Type: request.NonPreempt}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(5)
+	victim := app.starts[0].ids[1]
+
+	rep, err := s.FailNodes(c0, []int{victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reduced != 1 {
+		t.Fatalf("report = %+v, want 1 reduced", rep)
+	}
+	mustCheck(t, s)
+	if len(app.failures) != 1 {
+		t.Fatal("no node-failure notification")
+	}
+	ev := app.failures[0]
+	if ev.Action != NodeFaultReduced {
+		t.Fatalf("action = %v, want reduced", ev.Action)
+	}
+	if len(ev.Remaining) != 3 {
+		t.Errorf("remaining = %v, want the 3 survivors", ev.Remaining)
+	}
+	for _, nid := range ev.Remaining {
+		if nid == victim {
+			t.Errorf("remaining %v includes the dead node", ev.Remaining)
+		}
+	}
+	e.RunAll()
+	mustCheck(t, s)
+}
+
+func TestFailNodesCooperativeFallsBackToRequeue(t *testing.T) {
+	// testApp does not implement NodeFailureHandler: nobody would ever act
+	// on a reduced allocation, so the server requeues instead.
+	e, s := newNodeFaultServer(t, 4, CooperativeOnNodeFailure)
+	app := &testApp{}
+	app.sess = s.Connect(app)
+	if _, err := app.sess.Request(RequestSpec{Cluster: c0, N: 2, Duration: 30, Type: request.NonPreempt}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(5)
+	victim := app.starts[0].ids[0]
+	rep, err := s.FailNodes(c0, []int{victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requeued != 1 || rep.Reduced != 0 {
+		t.Fatalf("report = %+v, want the non-cooperating app requeued", rep)
+	}
+	mustCheck(t, s)
+	e.RunAll()
+	if len(app.starts) != 2 {
+		t.Fatalf("starts = %v, want a re-start", app.starts)
+	}
+	mustCheck(t, s)
+}
+
+func TestFailNodesPreemptAlwaysReduced(t *testing.T) {
+	// Revocation is within the preemptible contract: even under the kill
+	// policy a preemptible allocation is reduced, never killed.
+	e, s := newNodeFaultServer(t, 10, KillOnNodeFailure)
+	app := &nodeApp{}
+	app.sess = s.Connect(app)
+	if _, err := app.sess.Request(RequestSpec{Cluster: c0, N: 4, Duration: math.Inf(1), Type: request.Preempt}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(5)
+	if len(app.starts) != 1 {
+		t.Fatal("preemptible request did not start")
+	}
+	victim := app.starts[0].ids[0]
+	rep, err := s.FailNodes(c0, []int{victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reduced != 1 || rep.Killed != 0 {
+		t.Fatalf("report = %+v, want the preemptible request reduced", rep)
+	}
+	if len(app.failures) != 1 || app.failures[0].Action != NodeFaultReduced {
+		t.Fatalf("failures = %+v, want one reduced event", app.failures)
+	}
+	e.RunAll()
+	mustCheck(t, s)
+}
+
+func TestRecoverNodesRestoresCapacity(t *testing.T) {
+	e, s := newNodeFaultServer(t, 4, KillOnNodeFailure)
+	app := &nodeApp{}
+	app.sess = s.Connect(app)
+	e.RunAll()
+	if _, err := s.FailNodes(c0, []int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	mustCheck(t, s)
+	if got := s.FailedNodeIDs(c0); len(got) != 3 {
+		t.Fatalf("failed IDs = %v, want 3", got)
+	}
+	rep, err := s.RecoverNodes(c0, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Capacity != 3 {
+		t.Fatalf("capacity = %d, want 3", rep.Capacity)
+	}
+	mustCheck(t, s)
+	if got := s.FailedNodeIDs(c0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("failed IDs = %v, want [0]", got)
+	}
+	// The recovered capacity is schedulable again.
+	id, err := app.sess.Request(RequestSpec{Cluster: c0, N: 3, Duration: 5, Type: request.NonPreempt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunAll()
+	if len(app.starts) != 1 || app.starts[0].id != id {
+		t.Fatalf("starts = %v, want the 3-wide request started", app.starts)
+	}
+	mustCheck(t, s)
+}
+
+func TestFailNodesValidation(t *testing.T) {
+	e, s := newNodeFaultServer(t, 4, KillOnNodeFailure)
+	app := &nodeApp{}
+	app.sess = s.Connect(app)
+	e.RunAll()
+
+	if _, err := s.FailNodes(c0, []int{4}); err == nil {
+		t.Error("out-of-range node should error")
+	}
+	if _, err := s.FailNodes(c0, []int{1, 1}); err == nil {
+		t.Error("duplicate node should error")
+	}
+	if _, err := s.FailNodes("nope", []int{0}); err == nil {
+		t.Error("unknown cluster should error")
+	}
+	if _, err := s.RecoverNodes(c0, []int{0}); err == nil {
+		t.Error("recovering an up node should error")
+	}
+	// Failed validation must leave the server untouched.
+	if got := s.pools[c0].capacity(); got != 4 {
+		t.Errorf("capacity after rejected calls = %d, want 4", got)
+	}
+	if _, err := s.FailNodes(c0, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FailNodes(c0, []int{2}); err == nil {
+		t.Error("failing a down node should error")
+	}
+	mustCheck(t, s)
+}
+
+func TestFailNodesNextHandOverSurvivorsStayParked(t *testing.T) {
+	// A NEXT update parks the finished parent's IDs for the child. Nodes
+	// dying in the parked window are stripped silently: the child inherits
+	// the survivors and tops up from the pool.
+	e, s := newNodeFaultServer(t, 10, KillOnNodeFailure)
+	app := &nodeApp{}
+	app.sess = s.Connect(app)
+	cur, err := app.sess.Request(RequestSpec{Cluster: c0, N: 6, Duration: 1000, Type: request.NonPreempt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(5)
+	if len(app.starts) != 1 {
+		t.Fatal("initial request did not start")
+	}
+	held := append([]int(nil), app.starts[0].ids...)
+	// Shrink 6 → 4 via NEXT + done, releasing two IDs; the four kept IDs
+	// park on the finished parent until the child starts.
+	next, err := app.sess.Request(RequestSpec{Cluster: c0, N: 4, Duration: 1000, Type: request.NonPreempt,
+		RelatedHow: request.Next, RelatedTo: cur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.sess.Done(cur, held[4:]); err != nil {
+		t.Fatal(err)
+	}
+	// Before the child starts, kill one of the parked IDs.
+	if _, err := s.FailNodes(c0, []int{held[0]}); err != nil {
+		t.Fatal(err)
+	}
+	mustCheck(t, s)
+	e.RunAll()
+	var childStart []int
+	for _, st := range app.starts {
+		if st.id == next {
+			childStart = st.ids
+		}
+	}
+	if len(childStart) != 4 {
+		t.Fatalf("child allocation = %v, want 4 IDs", childStart)
+	}
+	for _, nid := range childStart {
+		if nid == held[0] {
+			t.Fatalf("child allocation %v includes the dead node", childStart)
+		}
+	}
+	mustCheck(t, s)
+}

@@ -89,6 +89,11 @@ type Config struct {
 	// every round recomputes everything from scratch. The differential
 	// tests pin the two modes byte-identical; production leaves it off.
 	FullRecompute bool
+	// NodeRecovery selects what happens to started non-preemptible requests
+	// whose nodes die (FailNodes). The zero value is KillOnNodeFailure,
+	// matching the shard-crash default (kill is the paper's §3.1.4
+	// behaviour; requeue and cooperative are the reproduction's extensions).
+	NodeRecovery NodeRecoveryPolicy
 }
 
 // Server is a CooRMv2 RMS instance.
@@ -417,6 +422,9 @@ func (s *Server) CheckInvariants() error {
 				if nid < 0 || nid >= pool.size {
 					return fmt.Errorf("rms: request %d holds out-of-range node %d on %q", r.ID, nid, r.Cluster)
 				}
+				if pool.isFailed(nid) {
+					return fmt.Errorf("rms: request %d holds dead node %d on %q", r.ID, nid, r.Cluster)
+				}
 				m := held[r.Cluster]
 				if m == nil {
 					m = make(map[int]request.ID)
@@ -443,10 +451,17 @@ func (s *Server) CheckInvariants() error {
 			if _, both := held[cid][nid]; both {
 				return fmt.Errorf("rms: node %d on %q is both free and held", nid, cid)
 			}
+			if pool.isFailed(nid) {
+				return fmt.Errorf("rms: node %d on %q is both free and down", nid, cid)
+			}
 		}
-		if pool.available()+len(held[cid]) != pool.size {
-			return fmt.Errorf("rms: cluster %q leaks node IDs: %d free + %d held != %d",
-				cid, pool.available(), len(held[cid]), pool.size)
+		if pool.available()+len(held[cid])+len(pool.failed) != pool.size {
+			return fmt.Errorf("rms: cluster %q leaks node IDs: %d free + %d held + %d down != %d",
+				cid, pool.available(), len(held[cid]), len(pool.failed), pool.size)
+		}
+		if cap := s.sched.Capacity(cid); cap != pool.capacity() {
+			return fmt.Errorf("rms: cluster %q scheduler capacity %d != %d working nodes",
+				cid, cap, pool.capacity())
 		}
 	}
 	return nil
@@ -611,6 +626,18 @@ func (sess *Session) finishLocked(r *request.Request, now float64, released []in
 		}
 	}
 
+	// Return the released IDs to the pool before mutating the request: the
+	// pool validates the whole batch atomically, so a corrupt release (a
+	// double free, an out-of-range or dead node — possible only through RMS
+	// state corruption or a buggy application under node churn) is rejected
+	// as a structured error and the request stays untouched and retryable.
+	if r.Type != request.PreAlloc && len(released) > 0 {
+		if err := s.pools[r.Cluster].free(released); err != nil {
+			pe := err.(*poolError)
+			return &RequestError{ID: r.ID, Node: pe.node, Reason: pe.reason}
+		}
+	}
+
 	r.Duration = now - r.StartedAt
 	if r.Duration == 0 {
 		// Keep a zero-length allocation representable; it occupies nothing.
@@ -625,7 +652,6 @@ func (sess *Session) finishLocked(r *request.Request, now float64, released []in
 	}
 
 	if len(released) > 0 {
-		s.pools[r.Cluster].free(released)
 		r.NodeIDs = removeInts(r.NodeIDs, released)
 		sess.held -= len(released)
 		s.recordAllocLocked(sess, now)
@@ -658,7 +684,7 @@ func (s *Server) teardownLocked(sess *Session) {
 	now := s.clk.Now()
 	for _, r := range sess.app.Requests() {
 		if len(r.NodeIDs) > 0 {
-			s.pools[r.Cluster].free(r.NodeIDs)
+			s.mustFreeLocked(r.Cluster, r.NodeIDs)
 			r.NodeIDs = nil
 		}
 		r.Finished = true
@@ -843,7 +869,7 @@ func (s *Server) sweepExpiredLocked(now float64) {
 					continue // IDs stay parked on r for hand-over
 				}
 				if len(r.NodeIDs) > 0 {
-					s.pools[r.Cluster].free(r.NodeIDs)
+					s.mustFreeLocked(r.Cluster, r.NodeIDs)
 					sess.held -= len(r.NodeIDs)
 					r.NodeIDs = nil
 					s.recordAllocLocked(sess, now)
@@ -889,7 +915,7 @@ func (s *Server) startRequestsLocked(outcome *core.Outcome, now float64) {
 				// surplus and returns it to the pool.
 				surplus := inherited[want:]
 				inherited = inherited[:want]
-				pool.free(surplus)
+				s.mustFreeLocked(r.Cluster, surplus)
 				sess.held -= len(surplus)
 			}
 			need := want - len(inherited)
