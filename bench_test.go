@@ -23,6 +23,7 @@ import (
 	"coormv2/internal/core"
 	"coormv2/internal/experiments"
 	"coormv2/internal/federation"
+	"coormv2/internal/obs"
 	"coormv2/internal/request"
 	"coormv2/internal/rms"
 	"coormv2/internal/sim"
@@ -177,15 +178,30 @@ func buildBenchFleet() (*core.Scheduler, []*core.AppState, *request.ID, int) {
 }
 
 // runSchedulerThroughput drives repeated rounds over the standing fleet.
+// Observability runs enabled-but-idle: a live registry records per round
+// exactly what rms.Server.runLocked records (round duration, dirty-artifact
+// count, one round event) — the allocs/op pin of the cached steady state
+// (≤ 8, gated in CI) therefore proves recording stays off the allocation
+// path.
 func runSchedulerThroughput(b *testing.B, incremental bool) {
 	s, _, _, totalReqs := buildBenchFleet()
 	s.SetIncremental(incremental)
+	reg := obs.NewRegistry()
+	hRound := reg.Hist("rms.round_seconds")
+	hDirty := reg.Hist("rms.round_dirty_artifacts")
+	var prevRecomputed int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
 		out := s.Schedule(float64(i))
 		if len(out.NonPreemptViews) != 50 {
 			b.Fatal("lost applications")
 		}
+		st := s.Stats()
+		hRound.Record(time.Since(t0).Seconds())
+		hDirty.Record(float64(st.ArtifactsRecomputed - prevRecomputed))
+		prevRecomputed = st.ArtifactsRecomputed
+		reg.Event(obs.Event{Time: float64(i), Type: obs.EvRound, Value: 0})
 	}
 	b.StopTimer()
 	reqPerSec := float64(totalReqs) * float64(b.N) / b.Elapsed().Seconds()
@@ -277,12 +293,14 @@ func BenchmarkFederatedThroughput(b *testing.B) {
 				cids[i] = view.ClusterID(fmt.Sprintf("c%d", i))
 				clusters[cids[i]] = nodesPer
 			}
+			reg := obs.NewRegistry()
 			fed := federation.New(federation.Config{
 				Clusters:        clusters,
 				Shards:          shards,
 				ReschedInterval: 1,
 				GracePeriod:     1e18, // standing apps never release; don't kill them
 				Clock:           clk,
+				Obs:             reg,
 			})
 			for i := 0; i < nClusters*appsPerCl; i++ {
 				cid := cids[i%nClusters]
@@ -328,8 +346,26 @@ func BenchmarkFederatedThroughput(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "requests/s")
+			reportWaitQuantiles(b, reg, shards)
 		})
 	}
+}
+
+// reportWaitQuantiles merges the per-shard admit→start wait histograms and
+// reports the p50/p99 simulated-seconds waits alongside ns/op — the
+// tail-latency companion of the throughput number, gated in CI by
+// scripts/bench_gate.py. Waits are measured on the simulated clock, so the
+// quantiles are deterministic per seed and benchmark shape.
+func reportWaitQuantiles(b *testing.B, reg *obs.Registry, shards int) {
+	wait := &obs.Histogram{}
+	for i := 0; i < shards; i++ {
+		wait.Merge(reg.Hist(fmt.Sprintf("shard%d.rms.wait_seconds", i)))
+	}
+	if wait.Stat().Count == 0 {
+		return
+	}
+	b.ReportMetric(wait.Quantile(0.5), "p50-wait-s")
+	b.ReportMetric(wait.Quantile(0.99), "p99-wait-s")
 }
 
 // BenchmarkFederatedThroughputSkewed measures the rebalancer's win under
@@ -370,12 +406,14 @@ func BenchmarkFederatedThroughputSkewed(b *testing.B) {
 			for i := 0; i < nClusters; i += shards {
 				hot = append(hot, cids[i])
 			}
+			reg := obs.NewRegistry()
 			fed := federation.New(federation.Config{
 				Clusters:        clusters,
 				Shards:          shards,
 				ReschedInterval: 1,
 				GracePeriod:     1e18, // standing apps never release; don't kill them
 				Clock:           clk,
+				Obs:             reg,
 			})
 			for i := 0; i < len(hot)*appsPerCl; i++ {
 				cid := hot[i%len(hot)]
@@ -427,6 +465,7 @@ func BenchmarkFederatedThroughputSkewed(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "requests/s")
+			reportWaitQuantiles(b, reg, shards)
 		})
 	}
 }

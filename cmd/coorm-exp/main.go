@@ -20,6 +20,7 @@ import (
 	"coormv2/internal/chaos"
 	"coormv2/internal/experiments"
 	"coormv2/internal/federation"
+	"coormv2/internal/obs"
 	"coormv2/internal/rms"
 	"coormv2/internal/stats"
 	"coormv2/internal/workload"
@@ -27,13 +28,35 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig9|fig10|fig11|ablation|accounting|replay|federated|chaos|nodechaos|rebalance|all")
-		seed  = flag.Int64("seed", 1, "base random seed")
-		full  = flag.Bool("full", false, "paper scale (1000 steps, 3.16 TiB) instead of the fast reduced scale")
-		steps = flag.Int("steps", 0, "override profile length (0 = scale default)")
+		exp    = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig9|fig10|fig11|ablation|accounting|replay|federated|chaos|nodechaos|rebalance|all")
+		seed   = flag.Int64("seed", 1, "base random seed")
+		full   = flag.Bool("full", false, "paper scale (1000 steps, 3.16 TiB) instead of the fast reduced scale")
+		steps  = flag.Int("steps", 0, "override profile length (0 = scale default)")
+		report = flag.String("report", "text", "chaos|nodechaos|rebalance output: text (aligned table) or json (full report incl. obs snapshot)")
 	)
 	sc := registerScenarioFlags()
 	flag.Parse()
+	if *report != "text" && *report != "json" {
+		fmt.Fprintf(os.Stderr, "coorm-exp: unknown -report format %q (want text or json)\n", *report)
+		os.Exit(2)
+	}
+	// emit renders a Report in the selected format: the text table and the
+	// JSON export come from the same struct, so the two can never disagree.
+	emit := func(rep *experiments.Report, err error) error {
+		if err != nil {
+			return err
+		}
+		if *report == "json" {
+			js, err := rep.JSON()
+			if err != nil {
+				return err
+			}
+			_, err = os.Stdout.Write(js)
+			return err
+		}
+		fmt.Print(rep.Text())
+		return nil
+	}
 
 	scale := scaleFor(*full, *steps)
 	run := func(name string, fn func() error) {
@@ -94,19 +117,19 @@ func main() {
 	if all || *exp == "chaos" {
 		matched = true
 		run("Chaos — federated replay under seeded shard crash/recovery", func() error {
-			return chaosExp(*seed, sc)
+			return emit(chaosExp(*seed, sc))
 		})
 	}
 	if all || *exp == "nodechaos" {
 		matched = true
 		run("Node chaos — machine failures under kill/requeue/cooperative recovery", func() error {
-			return nodeChaosExp(*seed, sc)
+			return emit(nodeChaosExp(*seed, sc))
 		})
 	}
 	if all || *exp == "rebalance" {
 		matched = true
 		run("Rebalance — skewed federated workload with live cluster migration on/off", func() error {
-			return rebalanceExp(*seed, sc)
+			return emit(rebalanceExp(*seed, sc))
 		})
 	}
 	if !matched {
@@ -433,8 +456,9 @@ func (sc *scenarioOpts) chaosConfig(seed int64, pol federation.RecoveryPolicy, j
 // chaosExp replays one rigid trace through a sharded federation while a
 // seeded fault plan crashes and restarts shards, once per recovery policy
 // and seed. Same seed ⇒ identical row, including the event-stream hash (the
-// determinism contract of internal/chaos).
-func chaosExp(seed int64, sc *scenarioOpts) error {
+// determinism contract of internal/chaos). The first (baseline) run carries
+// an observability registry; its snapshot rides along in the report.
+func chaosExp(seed int64, sc *scenarioOpts) (*experiments.Report, error) {
 	opts := *sc
 	if opts.shards < 2 {
 		opts.shards = 2
@@ -444,16 +468,27 @@ func chaosExp(seed int64, sc *scenarioOpts) error {
 		PowerOfTwoBias: 0.5,
 	})
 	st := workload.Summarize(jobs)
-	fmt.Printf("trace: %d jobs, %.3g node·s, max %d nodes/job; %d shards, %.3g crashes/shard/h\n",
-		st.Jobs, st.TotalArea, st.MaxNodes, opts.shards, opts.crashRate)
-	var out [][]string
+	rep := &experiments.Report{
+		Name: "chaos",
+		Notes: []string{fmt.Sprintf("trace: %d jobs, %.3g node·s, max %d nodes/job; %d shards, %.3g crashes/shard/h",
+			st.Jobs, st.TotalArea, st.MaxNodes, opts.shards, opts.crashRate)},
+		Header: []string{"policy", "seed", "crashes", "done", "killed", "rejected",
+			"requeued", "replayed", "dropped", "mean-wait-s", "makespan-s", "used-%", "event-hash"},
+	}
 	for _, pol := range []federation.RecoveryPolicy{federation.KillOnCrash, federation.RequeueOnCrash} {
 		for s := seed; s < seed+3; s++ {
-			res, err := experiments.RunChaosReplay(opts.chaosConfig(s, pol, jobs, false, false))
-			if err != nil {
-				return err
+			cfg := opts.chaosConfig(s, pol, jobs, false, false)
+			if rep.Obs == nil && len(rep.Rows) == 0 {
+				cfg.Obs = obs.NewRegistry()
 			}
-			out = append(out, []string{
+			res, err := experiments.RunChaosReplay(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.Obs != nil {
+				rep.Obs = res.Snapshot
+			}
+			rep.Rows = append(rep.Rows, []string{
 				pol.String(), strconv.FormatInt(s, 10),
 				strconv.Itoa(res.Crashes),
 				strconv.Itoa(res.Completed), strconv.Itoa(res.Killed), strconv.Itoa(res.Rejected),
@@ -463,10 +498,7 @@ func chaosExp(seed int64, sc *scenarioOpts) error {
 			})
 		}
 	}
-	fmt.Print(experiments.FormatTable(
-		[]string{"policy", "seed", "crashes", "done", "killed", "rejected",
-			"requeued", "replayed", "dropped", "mean-wait-s", "makespan-s", "used-%", "event-hash"}, out))
-	return nil
+	return rep, nil
 }
 
 // nodeChaosExp compares the three node-recovery policies on the same seeded
@@ -475,7 +507,7 @@ func chaosExp(seed int64, sc *scenarioOpts) error {
 // lost-work column (node·s of computation killed or repeated on rigid jobs)
 // is the §3.1.4 argument for cooperative recovery in one number; same seed ⇒
 // identical row including the event-stream hash.
-func nodeChaosExp(seed int64, sc *scenarioOpts) error {
+func nodeChaosExp(seed int64, sc *scenarioOpts) (*experiments.Report, error) {
 	opts := *sc
 	if opts.shards < 2 {
 		opts.shards = 2
@@ -485,9 +517,14 @@ func nodeChaosExp(seed int64, sc *scenarioOpts) error {
 		PowerOfTwoBias: 0.5,
 	})
 	st := workload.Summarize(jobs)
-	fmt.Printf("trace: %d jobs, %.3g node·s, max %d nodes/job; %d shards, node MTTF %.3gs, repair %.3gs\n",
-		st.Jobs, st.TotalArea, st.MaxNodes, opts.shards, opts.nodeMTTF, opts.nodeRepair)
-	var out [][]string
+	rep := &experiments.Report{
+		Name: "nodechaos",
+		Notes: []string{fmt.Sprintf("trace: %d jobs, %.3g node·s, max %d nodes/job; %d shards, node MTTF %.3gs, repair %.3gs",
+			st.Jobs, st.TotalArea, st.MaxNodes, opts.shards, opts.nodeMTTF, opts.nodeRepair)},
+		Header: []string{"policy", "seed", "node-fails", "recovers", "done", "killed",
+			"n-killed", "n-requeued", "n-reduced", "lost-node-s", "resubmits",
+			"mean-wait-s", "used-%", "event-hash"},
+	}
 	for _, pol := range []rms.NodeRecoveryPolicy{
 		rms.KillOnNodeFailure, rms.RequeueOnNodeFailure, rms.CooperativeOnNodeFailure,
 	} {
@@ -497,11 +534,17 @@ func nodeChaosExp(seed int64, sc *scenarioOpts) error {
 			cfg.Chaos.NodeMTTF = opts.nodeMTTF
 			cfg.Chaos.MeanNodeRecovery = opts.nodeRepair
 			cfg.NodeRecovery = pol
+			if rep.Obs == nil && len(rep.Rows) == 0 {
+				cfg.Obs = obs.NewRegistry()
+			}
 			res, err := experiments.RunChaosReplay(cfg)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			out = append(out, []string{
+			if cfg.Obs != nil {
+				rep.Obs = res.Snapshot
+			}
+			rep.Rows = append(rep.Rows, []string{
 				pol.String(), strconv.FormatInt(s, 10),
 				strconv.Itoa(res.NodeFails), strconv.Itoa(res.NodeRecovers),
 				strconv.Itoa(res.Completed), strconv.Itoa(res.Killed),
@@ -512,11 +555,7 @@ func nodeChaosExp(seed int64, sc *scenarioOpts) error {
 			})
 		}
 	}
-	fmt.Print(experiments.FormatTable(
-		[]string{"policy", "seed", "node-fails", "recovers", "done", "killed",
-			"n-killed", "n-requeued", "n-reduced", "lost-node-s", "resubmits",
-			"mean-wait-s", "used-%", "event-hash"}, out))
-	return nil
+	return rep, nil
 }
 
 // rebalanceExp replays one skewed rigid trace — the configured hot fraction
@@ -524,7 +563,7 @@ func nodeChaosExp(seed int64, sc *scenarioOpts) error {
 // with and without the chaos fault plan. The imbalance column is max/mean of
 // the per-shard end-state churn (1.00 = perfectly balanced); the event hash
 // pins determinism per row.
-func rebalanceExp(seed int64, sc *scenarioOpts) error {
+func rebalanceExp(seed int64, sc *scenarioOpts) (*experiments.Report, error) {
 	opts := *sc
 	if opts.shards < 2 {
 		opts.shards = 2
@@ -537,18 +576,29 @@ func rebalanceExp(seed int64, sc *scenarioOpts) error {
 		PowerOfTwoBias: 0.5,
 	})
 	st := workload.Summarize(jobs)
-	fmt.Printf("trace: %d jobs, %.3g node·s, max %d nodes/job; %d shards × %d clusters, %.0f%% hot\n",
-		st.Jobs, st.TotalArea, st.MaxNodes, opts.shards, opts.clustersPerShard, 100*opts.hotFrac)
-	var out [][]string
+	rep := &experiments.Report{
+		Name: "rebalance",
+		Notes: []string{fmt.Sprintf("trace: %d jobs, %.3g node·s, max %d nodes/job; %d shards × %d clusters, %.0f%% hot",
+			st.Jobs, st.TotalArea, st.MaxNodes, opts.shards, opts.clustersPerShard, 100*opts.hotFrac)},
+		Header: []string{"rebalance", "crashes", "migrations", "moved-reqs", "done",
+			"mean-wait-s", "makespan-s", "imbalance", "used-%", "event-hash"},
+	}
 	for _, chaosOn := range []bool{false, true} {
 		for _, rebalance := range []bool{false, true} {
 			o := opts
 			if !chaosOn {
 				o.crashRate = 0
 			}
-			res, err := experiments.RunChaosReplay(o.chaosConfig(seed, federation.RequeueOnCrash, jobs, true, rebalance))
+			cfg := o.chaosConfig(seed, federation.RequeueOnCrash, jobs, true, rebalance)
+			if rep.Obs == nil && len(rep.Rows) == 0 {
+				cfg.Obs = obs.NewRegistry()
+			}
+			res, err := experiments.RunChaosReplay(cfg)
 			if err != nil {
-				return err
+				return nil, err
+			}
+			if cfg.Obs != nil {
+				rep.Obs = res.Snapshot
 			}
 			var maxChurn, sumChurn int64
 			for _, c := range res.ShardChurn {
@@ -561,7 +611,7 @@ func rebalanceExp(seed int64, sc *scenarioOpts) error {
 			if sumChurn > 0 {
 				imbalance = float64(maxChurn) * float64(len(res.ShardChurn)) / float64(sumChurn)
 			}
-			out = append(out, []string{
+			rep.Rows = append(rep.Rows, []string{
 				strconv.FormatBool(rebalance), strconv.Itoa(res.Crashes), strconv.Itoa(res.Migrations),
 				strconv.Itoa(res.MigratedRequests), strconv.Itoa(res.Completed),
 				f(res.MeanWait, 1), f(res.Makespan, 0), f(imbalance, 3),
@@ -569,10 +619,7 @@ func rebalanceExp(seed int64, sc *scenarioOpts) error {
 			})
 		}
 	}
-	fmt.Print(experiments.FormatTable(
-		[]string{"rebalance", "crashes", "migrations", "moved-reqs", "done",
-			"mean-wait-s", "makespan-s", "imbalance", "used-%", "event-hash"}, out))
-	return nil
+	return rep, nil
 }
 
 func accounting(seed int64, sc scale) error {

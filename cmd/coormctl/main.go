@@ -1,19 +1,26 @@
 // Command coormctl is a small CLI client for a coormd daemon: it submits a
-// rigid job and reports its lifecycle, or watches the views the RMS pushes.
+// rigid job and reports its lifecycle, watches the views the RMS pushes, or
+// pretty-prints the daemon's live observability snapshot.
 //
 // Usage:
 //
 //	coormctl -addr 127.0.0.1:7777 run -cluster main -n 8 -d 30
 //	coormctl -addr 127.0.0.1:7777 watch -for 10
+//	coormctl stats -obs 127.0.0.1:6060           # daemon started with -pprof
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"sort"
 	"time"
 
+	"coormv2/internal/obs"
 	"coormv2/internal/request"
 	"coormv2/internal/rms"
 	"coormv2/internal/transport"
@@ -50,7 +57,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "coormctl: need a subcommand: run | watch")
+		fmt.Fprintln(os.Stderr, "coormctl: need a subcommand: run | watch | stats")
 		os.Exit(2)
 	}
 	switch args[0] {
@@ -58,6 +65,8 @@ func main() {
 		runCmd(*addr, args[1:])
 	case "watch":
 		watchCmd(*addr, args[1:])
+	case "stats":
+		statsCmd(args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "coormctl: unknown subcommand %q\n", args[0])
 		os.Exit(2)
@@ -99,6 +108,76 @@ func runCmd(addr string, args []string) {
 		fmt.Printf("done: %v\n", err)
 	}
 	fmt.Println("finished")
+}
+
+// statsCmd fetches /debug/obs from the daemon's pprof/obs side listener and
+// renders the snapshot: counters, histogram quantiles, and the tail of the
+// event ring. -json dumps the raw snapshot instead (the exact bytes the
+// daemon served).
+func statsCmd(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	obsAddr := fs.String("obs", "127.0.0.1:6060", "daemon pprof/obs listener address (coormd -pprof)")
+	raw := fs.Bool("json", false, "print the raw JSON snapshot")
+	events := fs.Int("events", 10, "trailing events to show (0 = none)")
+	fs.Parse(args)
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/obs", *obsAddr))
+	if err != nil {
+		log.Fatalf("coormctl: stats: %v (is coormd running with -pprof %s?)", err, *obsAddr)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("coormctl: stats: reading snapshot: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("coormctl: stats: %s: %s", resp.Status, body)
+	}
+	if *raw {
+		os.Stdout.Write(body)
+		return
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		log.Fatalf("coormctl: stats: decoding snapshot: %v", err)
+	}
+
+	fmt.Printf("snapshot at t=%.3fs; %d events recorded\n", snap.Time, snap.EventsTotal)
+	if len(snap.Counters) > 0 {
+		fmt.Println("\ncounters:")
+		keys := make([]string, 0, len(snap.Counters))
+		for k := range snap.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-42s %d\n", k, snap.Counters[k])
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		fmt.Println("\nhistograms:")
+		keys := make([]string, 0, len(snap.Histograms))
+		for k := range snap.Histograms {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("  %-34s %9s %12s %12s %12s %12s\n", "name", "count", "p50", "p99", "p999", "max")
+		for _, k := range keys {
+			h := snap.Histograms[k]
+			fmt.Printf("  %-34s %9d %12.6g %12.6g %12.6g %12.6g\n", k, h.Count, h.P50, h.P99, h.P999, h.Max)
+		}
+	}
+	if *events > 0 && len(snap.Events) > 0 {
+		tail := snap.Events
+		if len(tail) > *events {
+			tail = tail[len(tail)-*events:]
+		}
+		fmt.Printf("\nlast %d events:\n", len(tail))
+		for _, e := range tail {
+			fmt.Printf("  #%-6d t=%-12.3f %-12s shard=%-8s app=%-4d cluster=%-8s req=%-4d v=%g\n",
+				e.Seq, e.Time, e.Type, e.Shard, e.App, e.Cluster, e.Request, e.Value)
+		}
+	}
 }
 
 func watchCmd(addr string, args []string) {

@@ -24,11 +24,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"coormv2/internal/clock"
 	"coormv2/internal/core"
 	"coormv2/internal/federation"
 	"coormv2/internal/metrics"
+	"coormv2/internal/obs"
 	"coormv2/internal/rms"
 	"coormv2/internal/transport"
 	"coormv2/internal/view"
@@ -75,12 +77,51 @@ func main() {
 	if len(clusters) == 0 {
 		clusters["default"] = 64
 	}
+	clk := clock.NewRealClock()
+	reg := obs.NewRegistry()
+	var recsMu sync.Mutex
+	var recs []*metrics.Recorder
+	newRecorder := func() *metrics.Recorder {
+		r := metrics.NewRecorder()
+		recsMu.Lock()
+		recs = append(recs, r)
+		recsMu.Unlock()
+		return r
+	}
+	reg.RegisterCounters("metrics", func() map[string]int64 {
+		recsMu.Lock()
+		defer recsMu.Unlock()
+		tot := make(map[string]int64)
+		for _, r := range recs {
+			for k, v := range r.Totals() {
+				tot[k] += v
+			}
+		}
+		return tot
+	})
 	if *pprofOn != "" {
 		// net/http/pprof registers its handlers on the default mux; serve
 		// it on a dedicated side listener so profiling endpoints are never
-		// exposed on the RMS protocol port.
+		// exposed on the RMS protocol port. The observability endpoints
+		// share the listener: /metrics (Prometheus text) and /debug/obs
+		// (JSON snapshot + structured event ring).
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := reg.Snapshot(clk.Now()).WritePrometheus(w); err != nil {
+				log.Printf("coormd: /metrics: %v", err)
+			}
+		})
+		http.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+			js, err := reg.Snapshot(clk.Now()).JSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(js)
+		})
 		go func() {
-			log.Printf("coormd: pprof listening on http://%s/debug/pprof/", *pprofOn)
+			log.Printf("coormd: pprof/obs listening on http://%s/debug/pprof/ /metrics /debug/obs", *pprofOn)
 			if err := http.ListenAndServe(*pprofOn, nil); err != nil {
 				log.Printf("coormd: pprof listener failed: %v", err)
 			}
@@ -98,9 +139,10 @@ func main() {
 			Shards:          *shards,
 			ReschedInterval: *interval,
 			GracePeriod:     *grace,
-			Clock:           clock.NewRealClock(),
+			Clock:           clk,
 			Policy:          policy,
-			Metrics:         func(int) *metrics.Recorder { return metrics.NewRecorder() },
+			Metrics:         func(int) *metrics.Recorder { return newRecorder() },
+			Obs:             reg,
 		})
 		d = transport.NewFederatedServer(fed)
 		var shardDesc []string
@@ -114,9 +156,10 @@ func main() {
 			Clusters:        clusters,
 			ReschedInterval: *interval,
 			GracePeriod:     *grace,
-			Clock:           clock.NewRealClock(),
+			Clock:           clk,
 			Policy:          policy,
-			Metrics:         metrics.NewRecorder(),
+			Metrics:         newRecorder(),
+			Obs:             reg,
 		})
 		d = transport.NewServer(srv)
 	}

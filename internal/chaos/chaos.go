@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"coormv2/internal/federation"
+	"coormv2/internal/obs"
 	"coormv2/internal/sim"
 	"coormv2/internal/stats"
 )
@@ -113,12 +114,28 @@ type Injector struct {
 	nodeFails    int
 	nodeRecovers int
 	invErr       error
+
+	// Observability (nil unless SetObs was called; nil receivers no-op).
+	obsReg        *obs.Registry
+	hRecovery     *obs.Histogram
+	hNodeRecovery *obs.Histogram
 }
 
 // NewInjector binds a plan to an engine and federation. Call Arm before
 // running the simulation.
 func NewInjector(e *sim.Engine, fed *federation.Federator, plan []Fault) *Injector {
 	return &Injector{e: e, fed: fed, pln: plan}
+}
+
+// SetObs attaches an observability registry: executed fault→recovery
+// times land in the "chaos.recovery_seconds" (shard outage per plan) and
+// "chaos.node_recovery_seconds" (machine repair) histograms, and node
+// faults are traced as structured events. Shard crash/restart events are
+// recorded by the federation itself. Call before Arm/ArmNodes.
+func (in *Injector) SetObs(reg *obs.Registry) {
+	in.obsReg = reg
+	in.hRecovery = reg.Hist("chaos.recovery_seconds")
+	in.hNodeRecovery = reg.Hist("chaos.node_recovery_seconds")
 }
 
 // Arm schedules every fault of the plan as simulator events.
@@ -133,6 +150,7 @@ func (in *Injector) Arm() {
 		in.e.At(f.RestartAt, "chaos.restart", func() {
 			rep := in.fed.RestartShard(f.Shard)
 			in.restarts++
+			in.hRecovery.Record(f.RestartAt - f.CrashAt)
 			in.record(fmt.Sprintf("t=%.6f %s", in.e.Now(), rep))
 		})
 	}

@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"sort"
 
+	"coormv2/internal/obs"
 	"coormv2/internal/stats"
 	"coormv2/internal/view"
 )
@@ -136,6 +137,8 @@ func (in *Injector) ArmNodes(plan []NodeFault) {
 				panic(fmt.Sprintf("chaos: %s: %v", f, err))
 			}
 			in.nodeFails++
+			in.obsReg.Event(obs.Event{Time: f.FailAt, Type: obs.EvNodeFail,
+				Cluster: string(f.Cluster), Value: 1})
 			in.record(fmt.Sprintf("t=%.6f %s", in.e.Now(), rep))
 		})
 		in.e.At(f.RecoverAt, "chaos.noderecover", func() {
@@ -144,6 +147,9 @@ func (in *Injector) ArmNodes(plan []NodeFault) {
 				panic(fmt.Sprintf("chaos: %s: %v", f, err))
 			}
 			in.nodeRecovers++
+			in.hNodeRecovery.Record(f.RecoverAt - f.FailAt)
+			in.obsReg.Event(obs.Event{Time: f.RecoverAt, Type: obs.EvNodeRecover,
+				Cluster: string(f.Cluster), Value: 1})
 			in.record(fmt.Sprintf("t=%.6f %s", in.e.Now(), rep))
 		})
 	}

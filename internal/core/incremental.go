@@ -54,6 +54,27 @@ type SchedStats struct {
 	EqAppRecomputed int64
 }
 
+// Map flattens the counters into the key/value shape an obs registry
+// counter source expects. Key names are stable: they appear in
+// /debug/obs snapshots and experiment reports.
+func (s SchedStats) Map() map[string]int64 {
+	return map[string]int64{
+		"rounds":                   s.Rounds,
+		"full_rounds":              s.FullRounds,
+		"artifacts_reused":         s.ArtifactsReused,
+		"artifacts_recomputed":     s.ArtifactsRecomputed,
+		"fold_clusters_recomputed": s.FoldClustersRecomputed,
+		"cbf_reused":               s.CBFReused,
+		"cbf_recomputed":           s.CBFRecomputed,
+		"eqocc_reused":             s.EqOccReused,
+		"eqocc_recomputed":         s.EqOccRecomputed,
+		"walks_reused":             s.WalksReused,
+		"walks_recomputed":         s.WalksRecomputed,
+		"eqapp_reused":             s.EqAppReused,
+		"eqapp_recomputed":         s.EqAppRecomputed,
+	}
+}
+
 // rectA is the canonical record of one fixed request's allocation, captured
 // from the request attributes right after they were (re)computed. Two equal
 // rectA sequences generate byte-identical occupancy views (StepFuncs are

@@ -9,6 +9,7 @@ import (
 	"coormv2/internal/clock"
 	"coormv2/internal/federation"
 	"coormv2/internal/metrics"
+	"coormv2/internal/obs"
 	"coormv2/internal/request"
 	"coormv2/internal/rms"
 	"coormv2/internal/sim"
@@ -56,6 +57,12 @@ type ChaosReplayConfig struct {
 	Chaos chaos.Config
 	// MaxSimTime aborts runaway replays (default 10^9 s).
 	MaxSimTime float64
+	// Obs, when non-nil, is threaded through the federation, every shard
+	// and the fault injector, collecting latency histograms, counters and
+	// the structured event ring for the run; ChaosReplayResult.Snapshot is
+	// then its end-of-run snapshot. All durations are measured on the
+	// simulated clock, so same-seed snapshots are byte-identical.
+	Obs *obs.Registry
 	// FullRecompute disables incremental scheduling on every shard. The
 	// incremental≡full differential test runs the same seeded
 	// chaos×migration replay in both modes and requires byte-identical
@@ -131,6 +138,10 @@ type ChaosReplayResult struct {
 	// Trace is the injector's fault trace: one line per executed
 	// crash/restart, in execution order.
 	Trace []string
+
+	// Snapshot is the end-of-run observability snapshot (nil unless
+	// ChaosReplayConfig.Obs was set).
+	Snapshot *obs.Snapshot
 }
 
 // chaosRigid wraps a rigid job so that it settles exactly once — completed,
@@ -257,14 +268,34 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 			return r
 		},
 		FederationMetrics: fedRec,
+		Obs:               cfg.Obs,
 	})
 	if fed.NumShards() != cfg.Shards {
 		return nil, fmt.Errorf("experiments: federation clamped to %d shards", fed.NumShards())
 	}
 	agg := metrics.NewAggregate(recs...)
 
+	if cfg.Obs != nil {
+		// Recorder totals (allocation area, waste, fault counters, …) summed
+		// over every application across all recorders — the shard-local
+		// recorders created above are appended to recs as shards come up, and
+		// the closure reads the live slice at snapshot time.
+		cfg.Obs.RegisterCounters("metrics", func() map[string]int64 {
+			tot := make(map[string]int64)
+			for _, r := range recs {
+				for k, v := range r.Totals() {
+					tot[k] += v
+				}
+			}
+			return tot
+		})
+	}
+
 	inj := chaos.NewInjector(e, fed, chaos.Plan(cfg.Chaos, cfg.Shards))
 	inj.CheckAfterFault = true
+	if cfg.Obs != nil {
+		inj.SetObs(cfg.Obs)
+	}
 	inj.Arm()
 	inj.ArmNodes(chaos.PlanNodes(cfg.Chaos, clusters))
 
@@ -430,5 +461,9 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 	res.TotalArea = agg.TotalArea(res.Makespan)
 	res.TotalWaste = agg.TotalWaste()
 	res.UsedFraction = agg.UsedFraction(res.Nodes, res.Makespan)
+	if cfg.Obs != nil {
+		snap := cfg.Obs.Snapshot(res.Makespan)
+		res.Snapshot = &snap
+	}
 	return res, nil
 }

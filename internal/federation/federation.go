@@ -44,6 +44,7 @@ import (
 	"coormv2/internal/clock"
 	"coormv2/internal/core"
 	"coormv2/internal/metrics"
+	"coormv2/internal/obs"
 	"coormv2/internal/request"
 	"coormv2/internal/rms"
 	"coormv2/internal/view"
@@ -120,6 +121,11 @@ type Config struct {
 	// round recomputes from scratch). The chaos×migration differential test
 	// pins the two modes byte-identical; production leaves it off.
 	FullRecompute bool
+	// Obs, when non-nil, is threaded through every shard (labelled
+	// "shard<i>") and additionally records federation-level signals: merge
+	// latency, migration pauses, shard outage durations, and crash/restart
+	// events.
+	Obs *obs.Registry
 }
 
 // Federator routes application sessions across a set of rms.Server shards.
@@ -160,6 +166,16 @@ type Federator struct {
 	// locality, not work avoided within a rebuild.
 	remergedShards atomic.Int64
 	cleanShards    atomic.Int64
+
+	// Observability (nil when Config.Obs is nil). crashedAt remembers each
+	// shard's last crash instant so RestartShard can record the outage
+	// duration (sim seconds under SimClock — deterministic — and wall
+	// seconds under RealClock).
+	obsReg    *obs.Registry
+	hMerge    *obs.Histogram
+	hMigrate  *obs.Histogram
+	hOutage   *obs.Histogram
+	crashedAt []float64
 }
 
 // noteMerge records one merged-view delivery in which `dirty` of `total`
@@ -235,6 +251,17 @@ func New(cfg Config) *Federator {
 		nextApp:      1,
 		nextReq:      1,
 	}
+	if cfg.Obs != nil {
+		f.obsReg = cfg.Obs
+		f.hMerge = cfg.Obs.Hist("fed.merge_seconds")
+		f.hMigrate = cfg.Obs.Hist("fed.migration_pause_seconds")
+		f.hOutage = cfg.Obs.Hist("fed.outage_seconds")
+		f.crashedAt = make([]float64, len(parts))
+		cfg.Obs.RegisterCounters("fed.merge", func() map[string]int64 {
+			dirty, clean := f.MergeStats()
+			return map[string]int64{"remerged_shard_views": dirty, "reused_shard_views": clean}
+		})
+	}
 	for i, part := range parts {
 		var rec *metrics.Recorder
 		if cfg.Metrics != nil {
@@ -250,6 +277,8 @@ func New(cfg Config) *Federator {
 			Metrics:         rec,
 			NodeRecovery:    cfg.NodeRecovery,
 			FullRecompute:   cfg.FullRecompute,
+			Obs:             cfg.Obs,
+			ObsLabel:        fmt.Sprintf("shard%d", i),
 		})
 		for cid := range part {
 			f.owner[cid] = i
@@ -437,6 +466,12 @@ func (f *Federator) CrashShard(i int) CrashReport {
 	sessions := f.sessionsLocked()
 	f.mu.Unlock()
 
+	if f.obsReg != nil {
+		// crashedAt is guarded by topoMu, held for the whole crash/restart.
+		f.crashedAt[i] = f.clk.Now()
+		f.obsReg.Event(obs.Event{Time: f.crashedAt[i], Type: obs.EvCrash, Shard: fmt.Sprintf("shard%d", i)})
+	}
+
 	var killed []*Session
 	type purgeNotice struct{ ended, reaped []request.ID }
 	notices := make(map[*Session]purgeNotice)
@@ -498,6 +533,13 @@ func (f *Federator) RestartShard(i int) RestartReport {
 	f.down[i] = false
 	sessions := f.sessionsLocked()
 	f.mu.Unlock()
+
+	if f.obsReg != nil {
+		now := f.clk.Now()
+		outage := now - f.crashedAt[i]
+		f.hOutage.Record(outage)
+		f.obsReg.Event(obs.Event{Time: now, Type: obs.EvRestart, Shard: fmt.Sprintf("shard%d", i), Value: outage})
+	}
 
 	for _, sess := range sessions {
 		if sess.admitShard(i) {

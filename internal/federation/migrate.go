@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"coormv2/internal/metrics"
+	"coormv2/internal/obs"
 	"coormv2/internal/request"
 	"coormv2/internal/view"
 )
@@ -62,6 +63,10 @@ func (f *Federator) MigrateCluster(cid view.ClusterID, to int) (MigrationReport,
 	f.topoMu.Lock()
 	defer f.topoMu.Unlock()
 
+	var pauseT0 float64
+	if f.hMigrate != nil {
+		pauseT0 = f.clk.Now()
+	}
 	rep := MigrationReport{Cluster: cid, To: to}
 	f.mu.Lock()
 	from, ok := f.owner[cid]
@@ -128,6 +133,16 @@ func (f *Federator) MigrateCluster(cid view.ClusterID, to int) (MigrationReport,
 		// pseudo-application ID 0 (per-app MigratedRequests counters land on
 		// the target shard's recorder via AttachCluster).
 		f.fedRec.IncCounter(0, metrics.MigratedClusters, 1)
+	}
+	if f.hMigrate != nil {
+		// Detach→attach pause, clock-measured: the window in which the
+		// cluster was placed on neither shard. Zero inside the simulator
+		// (the whole migration runs within one event); real seconds under
+		// clock.RealClock.
+		pause := f.clk.Now() - pauseT0
+		f.hMigrate.Record(pause)
+		f.obsReg.Event(obs.Event{Time: pauseT0, Type: obs.EvMigrate,
+			Cluster: string(cid), Value: pause})
 	}
 	return rep, nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"coormv2/internal/metrics"
+	"coormv2/internal/obs"
 	"coormv2/internal/request"
 	"coormv2/internal/rms"
 	"coormv2/internal/view"
@@ -735,6 +736,10 @@ func (s *Session) mergedLocked() (np, p view.View) {
 		s.f.noteMerge(0, len(s.shardViews))
 		return s.mergedNP, s.mergedP
 	}
+	var mergeT0 float64
+	if s.f.hMerge != nil {
+		mergeT0 = s.f.clk.Now()
+	}
 	nNP, nP := 0, 0
 	for _, sv := range s.shardViews {
 		nNP += len(sv[0])
@@ -753,6 +758,16 @@ func (s *Session) mergedLocked() (np, p view.View) {
 	s.mergedNP, s.mergedP = np, p
 	s.mergedOK = true
 	s.f.noteMerge(dirty, len(s.shardViews))
+	if s.f.hMerge != nil {
+		// Clock-measured rebuild latency: zero inside the simulator (time
+		// never advances mid-event, keeping same-seed snapshots identical),
+		// real microseconds under clock.RealClock. Cache hits above are not
+		// recorded — the histogram measures rebuild cost, the fed.merge
+		// counters measure hit rate.
+		dur := s.f.clk.Now() - mergeT0
+		s.f.hMerge.Record(dur)
+		s.f.obsReg.Event(obs.Event{Time: mergeT0, Type: obs.EvMerge, App: s.id, Value: dur})
+	}
 	return np, p
 }
 

@@ -144,10 +144,14 @@ func (r *Recorder) track(appID int) *appTrack {
 	return tr
 }
 
-// advance integrates the running counters up to time t.
+// advance integrates the running counters up to time t. An out-of-order
+// timestamp (t earlier than the last observation — possible when shard
+// crash replays or real-clock skew deliver stale events) is clamped:
+// the integrals never accumulate negative area and the track's time
+// never moves backwards.
 func (tr *appTrack) advance(t float64) {
 	if t < tr.lastT {
-		panic(fmt.Sprintf("metrics: time went backwards: %v < %v", t, tr.lastT))
+		return
 	}
 	dt := t - tr.lastT
 	tr.area += float64(tr.cur) * dt
@@ -217,6 +221,23 @@ func (r *Recorder) TotalCount(c Counter) int {
 		s += tr.counts[c]
 	}
 	return s
+}
+
+// Totals returns every fault-recovery counter summed over all
+// applications, keyed by Counter.String() — the shape an obs registry
+// counter source expects.
+func (r *Recorder) Totals() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, int(numCounters))
+	for c := Counter(0); c < numCounters; c++ {
+		s := int64(0)
+		for _, tr := range r.apps {
+			s += int64(tr.counts[c])
+		}
+		out[c.String()] = s
+	}
+	return out
 }
 
 // Area returns the node·seconds consumed by appID up to time t.

@@ -30,15 +30,51 @@ func TestAreaPartialQuery(t *testing.T) {
 	}
 }
 
-func TestTimeBackwardsPanics(t *testing.T) {
+// TestTimeBackwardsClamped: an out-of-order timestamp must not
+// integrate negative area or rewind the track — the stale update's
+// allocation takes effect from the already-reached time instead.
+func TestTimeBackwardsClamped(t *testing.T) {
 	r := NewRecorder()
 	r.SetAlloc(1, 10, 4)
-	defer func() {
-		if recover() == nil {
-			t.Error("going backwards in time should panic")
-		}
-	}()
-	r.SetAlloc(1, 5, 2)
+	r.SetAlloc(1, 5, 2) // stale: clamps to t=10, area unchanged
+	if got := r.Area(1, 10); got != 0 {
+		t.Errorf("Area at t=10 = %v, want 0 (no negative integration)", got)
+	}
+	// The stale call still set the allocation: 2 nodes from t=10 on.
+	if got := r.Area(1, 20); got != 20 {
+		t.Errorf("Area at t=20 = %v, want 20", got)
+	}
+	// Same guard on the pre-allocation integral.
+	r.SetPreAlloc(2, 10, 8)
+	r.SetPreAlloc(2, 0, 1)
+	if got := r.PreAllocArea(2, 10); got != 0 {
+		t.Errorf("PreAllocArea at t=10 = %v, want 0", got)
+	}
+	if got := r.PreAllocArea(2, 15); got != 5 {
+		t.Errorf("PreAllocArea at t=15 = %v, want 5 (1 node × 5 s)", got)
+	}
+	// A stale Area query must not rewind lastT either.
+	r.SetAlloc(3, 10, 1)
+	if got := r.Area(3, 5); got != 0 {
+		t.Errorf("stale Area query = %v, want 0", got)
+	}
+	if got := r.Area(3, 20); got != 10 {
+		t.Errorf("Area after stale query = %v, want 10", got)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	r := NewRecorder()
+	r.IncCounter(1, ChurnRequests, 3)
+	r.IncCounter(2, ChurnRequests, 4)
+	r.IncCounter(2, KilledSessions, 1)
+	tot := r.Totals()
+	if len(tot) != int(numCounters) {
+		t.Fatalf("Totals has %d keys, want %d", len(tot), numCounters)
+	}
+	if tot["churn-requests"] != 7 || tot["killed-sessions"] != 1 || tot["dropped-requests"] != 0 {
+		t.Errorf("Totals = %v", tot)
+	}
 }
 
 func TestPreAllocArea(t *testing.T) {

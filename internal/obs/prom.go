@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// promName sanitizes a registry name into a Prometheus metric name:
+// lower-cased "coorm_" prefix with every non-[a-zA-Z0-9_] rune folded
+// to '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 6)
+	b.WriteString("coorm_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters as counters, histograms
+// as summaries with fixed quantiles plus _min/_max gauges. Output order
+// is deterministic (sorted by metric name).
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, k := range sortedKeys(s.Counters) {
+		name := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		st := s.Histograms[k]
+		name := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", name); err != nil {
+			return err
+		}
+		for _, qv := range [...]struct {
+			q string
+			v float64
+		}{{"0.5", st.P50}, {"0.9", st.P90}, {"0.99", st.P99}, {"0.999", st.P999}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n", name, qv.q, promFloat(qv.v)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n%s_min %s\n%s_max %s\n",
+			name, promFloat(st.Sum), name, st.Count,
+			name, promFloat(st.Min), name, promFloat(st.Max)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE coorm_events_total counter\ncoorm_events_total %d\n", s.EventsTotal)
+	return err
+}

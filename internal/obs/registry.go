@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+)
+
+// CounterFunc returns a point-in-time view of a named counter group
+// (e.g. a shard's SchedStats). Called under no obs lock; the source is
+// responsible for its own synchronization.
+type CounterFunc func() map[string]int64
+
+// Registry is the per-process (or per-experiment) observability root:
+// named histograms, pluggable counter sources, and one shared event
+// ring. A nil *Registry is a valid "disabled" registry — Hist returns
+// nil (whose Record no-ops) and Event discards.
+type Registry struct {
+	mu       sync.Mutex
+	hists    map[string]*Histogram
+	counters map[string]CounterFunc
+	ring     *Ring
+}
+
+// DefaultRingCap bounds the shared event ring of a NewRegistry.
+const DefaultRingCap = 2048
+
+// NewRegistry returns an enabled registry with a DefaultRingCap event
+// ring.
+func NewRegistry() *Registry {
+	return &Registry{
+		hists:    make(map[string]*Histogram),
+		counters: make(map[string]CounterFunc),
+		ring:     NewRing(DefaultRingCap),
+	}
+}
+
+// Hist returns the named histogram, creating it on first use. Call
+// sites cache the pointer and record through it without further map
+// lookups. Returns nil on a nil registry.
+func (r *Registry) Hist(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterCounters installs (or replaces) a counter source under a
+// group name; Snapshot flattens its keys as "<group>.<key>". No-op on a
+// nil registry.
+func (r *Registry) RegisterCounters(group string, fn CounterFunc) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[group] = fn
+	r.mu.Unlock()
+}
+
+// Event appends one event to the shared ring. No-op on a nil registry.
+func (r *Registry) Event(e Event) {
+	if r == nil {
+		return
+	}
+	r.ring.Add(e)
+}
+
+// Events returns the retained event ring oldest-first (nil on a nil
+// registry).
+func (r *Registry) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.ring.Events()
+}
+
+// Snapshot is the unified point-in-time view of every registered
+// counter and histogram plus the recent event ring. Map keys are sorted
+// by encoding/json, so two snapshots with identical contents marshal to
+// identical bytes.
+type Snapshot struct {
+	Time        float64             `json:"time"`
+	Counters    map[string]int64    `json:"counters"`
+	Histograms  map[string]HistStat `json:"histograms"`
+	Events      []Event             `json:"events,omitempty"`
+	EventsTotal uint64              `json:"events_total"`
+}
+
+// Snapshot captures the registry at clock time now. Counter sources are
+// invoked outside the registry lock.
+func (r *Registry) Snapshot(now float64) Snapshot {
+	snap := Snapshot{
+		Time:       now,
+		Counters:   map[string]int64{},
+		Histograms: map[string]HistStat{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	sources := make(map[string]CounterFunc, len(r.counters))
+	for g, fn := range r.counters {
+		sources[g] = fn
+	}
+	r.mu.Unlock()
+
+	for name, h := range hists {
+		snap.Histograms[name] = h.Stat()
+	}
+	for group, fn := range sources {
+		for k, v := range fn() {
+			snap.Counters[group+"."+k] = v
+		}
+	}
+	snap.Events = r.ring.Events()
+	snap.EventsTotal = r.ring.Total()
+	return snap
+}
+
+// JSON renders the snapshot with stable, human-readable encoding.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// sortedKeys returns the sorted key set of a string-keyed map — the
+// deterministic iteration order used by every text encoder here.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -96,6 +96,12 @@ type Request struct {
 	NodeIDs   []int   // node IDs allocated to this request (empty for PA)
 	Finished  bool    // done() was called on a started request
 
+	// SubmittedAt records when the RMS admitted the request — the basis
+	// of the observability layer's admit→start wait metric. NaN until the
+	// RMS stamps it on accept; cluster migrations carry it across shards
+	// so waits survive a re-homing.
+	SubmittedAt float64
+
 	// Wrapped records that this non-preemptible request could not be served
 	// from one of its application's pre-allocations and was implicitly
 	// wrapped in a pre-allocation of the same size (§3.2). The scheduler
@@ -118,6 +124,7 @@ func New(id ID, appID int, cid view.ClusterID, n int, duration float64, typ Type
 		RelatedTo:   parent,
 		ScheduledAt: math.Inf(1),
 		StartedAt:   math.NaN(),
+		SubmittedAt: math.NaN(),
 	}
 }
 

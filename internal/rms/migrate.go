@@ -50,10 +50,11 @@ type RequestState struct {
 	Fixed              bool
 	EarliestScheduleAt float64
 
-	StartedAt float64 // NaN when not started
-	NodeIDs   []int
-	Finished  bool
-	Wrapped   bool
+	StartedAt   float64 // NaN when not started
+	NodeIDs     []int
+	Finished    bool
+	Wrapped     bool
+	SubmittedAt float64 // NaN when never stamped; carried so waits survive migration
 }
 
 // SessionClusterState is one application's share of a ClusterSnapshot.
@@ -238,6 +239,7 @@ func (s *Server) DetachCluster(cid view.ClusterID) (*ClusterSnapshot, error) {
 				StartedAt:          r.StartedAt,
 				NodeIDs:            append([]int(nil), r.NodeIDs...),
 				Finished:           r.Finished, Wrapped: r.Wrapped,
+				SubmittedAt: r.SubmittedAt,
 			}
 			if r.RelatedTo != nil && inSnap[r.RelatedTo] {
 				rs.RelatedHow, rs.RelatedTo = r.RelatedHow, r.RelatedTo.ID
@@ -350,6 +352,7 @@ func (s *Server) AttachCluster(snap *ClusterSnapshot, observe func(appID int, ol
 			r.NodeIDs = append([]int(nil), rs.NodeIDs...)
 			r.Finished = rs.Finished
 			r.Wrapped = rs.Wrapped
+			r.SubmittedAt = rs.SubmittedAt
 			byOld[rs.ID] = r
 			sess.app.SetFor(rs.Type).Add(r)
 			moved += len(r.NodeIDs)

@@ -20,6 +20,7 @@ import (
 	"coormv2/internal/clock"
 	"coormv2/internal/core"
 	"coormv2/internal/metrics"
+	"coormv2/internal/obs"
 	"coormv2/internal/request"
 	"coormv2/internal/view"
 )
@@ -94,6 +95,15 @@ type Config struct {
 	// matching the shard-crash default (kill is the paper's §3.1.4
 	// behaviour; requeue and cooperative are the reproduction's extensions).
 	NodeRecovery NodeRecoveryPolicy
+	// Obs, when non-nil, receives latency histograms and structured events
+	// (internal/obs): round duration and per-round recomputed artifacts,
+	// request admit→start waits, and done→reap lag. Recording stays out of
+	// the allocation-lean round when nil.
+	Obs *obs.Registry
+	// ObsLabel prefixes this server's metric names and stamps its events
+	// (e.g. "shard0") so federated shards share one registry without
+	// colliding. Empty for a standalone RMS.
+	ObsLabel string
 }
 
 // Server is a CooRMv2 RMS instance.
@@ -150,6 +160,27 @@ type Server struct {
 	// stopped marks a crashed server (Stop): all state is gone and every
 	// operation fails until Reset.
 	stopped bool
+
+	// Observability (nil when Config.Obs is nil). Histogram pointers are
+	// cached at construction so hot paths record through one nil check and
+	// zero map lookups; obsPrevRecomputed turns the scheduler's cumulative
+	// artifact counter into a per-round dirty count.
+	obs               *obs.Registry
+	obsLabel          string
+	hRound            *obs.Histogram
+	hDirty            *obs.Histogram
+	hWait             *obs.Histogram
+	hReap             *obs.Histogram
+	obsPrevRecomputed int64
+
+	// gcCollect is the persistent reap callback for gcRequestsLocked with
+	// its per-call state (gcNow/gcObserve/gcReaped scratch): allocating a
+	// fresh closure per session per round would show up in the steady
+	// cached round's allocation budget.
+	gcCollect func(*request.Request)
+	gcNow     float64
+	gcObserve bool
+	gcReaped  []request.ID
 }
 
 // NewServer creates an RMS server. It panics on an invalid configuration.
@@ -167,8 +198,32 @@ func NewServer(cfg Config) *Server {
 		cfg.GracePeriod = 5 * cfg.ReschedInterval
 	}
 	s := &Server{cfg: cfg, clk: cfg.Clock}
+	s.initObs()
 	s.initStateLocked()
 	return s
+}
+
+// initObs caches the server's observability hooks. Histogram names carry
+// the shard label so a federation's shards share one registry; the sched
+// counter source reads SchedStats under the server lock (snapshots are
+// never taken while holding it).
+func (s *Server) initObs() {
+	if s.cfg.Obs == nil {
+		return
+	}
+	s.obs = s.cfg.Obs
+	s.obsLabel = s.cfg.ObsLabel
+	prefix := ""
+	if s.obsLabel != "" {
+		prefix = s.obsLabel + "."
+	}
+	s.hRound = s.obs.Hist(prefix + "rms.round_seconds")
+	s.hDirty = s.obs.Hist(prefix + "rms.round_dirty_artifacts")
+	s.hWait = s.obs.Hist(prefix + "rms.wait_seconds")
+	s.hReap = s.obs.Hist(prefix + "rms.reap_lag_seconds")
+	s.obs.RegisterCounters(prefix+"sched", func() map[string]int64 {
+		return s.SchedStats().Map()
+	})
 }
 
 // initStateLocked (re)builds the server's mutable scheduling state from the
@@ -195,6 +250,7 @@ func (s *Server) initStateLocked() {
 	s.nextReq = 1
 	s.lastRunAt = math.Inf(-1)
 	s.ranOnce = false
+	s.obsPrevRecomputed = 0 // fresh scheduler: cumulative counters restart
 }
 
 // Session is one application's connection to the RMS.
@@ -509,6 +565,7 @@ func (sess *Session) RequestObserved(spec RequestSpec, observe func(request.ID))
 		s.mu.Unlock()
 		return 0, err
 	}
+	r.SubmittedAt = s.clk.Now()
 	sess.app.SetFor(spec.Type).Add(r)
 	s.touchLocked(sess.app.ID)
 	s.churn[spec.Cluster]++
@@ -779,6 +836,24 @@ func (s *Server) flush() {
 	}
 }
 
+// recordStartLocked records a request's admit→start wait — sim-time
+// inside the simulator (deterministic and meaningful), wall-time under
+// clock.RealClock. Requests admitted before the observability layer
+// existed (no submit stamp, e.g. attached from an old snapshot) are
+// skipped.
+func (s *Server) recordStartLocked(r *request.Request, now float64) {
+	if s.hWait == nil || math.IsNaN(r.SubmittedAt) {
+		return
+	}
+	wait := now - r.SubmittedAt
+	if wait < 0 {
+		wait = 0
+	}
+	s.hWait.Record(wait)
+	s.obs.Event(obs.Event{Time: now, Type: obs.EvStart, Shard: s.obsLabel,
+		App: r.AppID, Cluster: string(r.Cluster), Request: int(r.ID), Value: wait})
+}
+
 // recordAllocLocked pushes the session's held-node count to the metrics
 // recorder. now must be the time captured at the start of the current
 // locked section: re-reading the wall clock mid-section would go backwards
@@ -809,6 +884,19 @@ func (s *Server) runLocked() {
 	s.recordPreAllocLocked(now)
 	s.armWakeLocked(now, deadline)
 	s.gcRequestsLocked(now)
+
+	if s.obs != nil {
+		st := s.sched.Stats()
+		dirty := st.ArtifactsRecomputed - s.obsPrevRecomputed
+		s.obsPrevRecomputed = st.ArtifactsRecomputed
+		// Clock-measured duration: real seconds under clock.RealClock,
+		// exactly zero inside the simulator (time only advances between
+		// events), which keeps same-seed snapshots byte-identical.
+		dur := s.clk.Now() - now
+		s.hRound.Record(dur)
+		s.hDirty.Record(float64(dirty))
+		s.obs.Event(obs.Event{Time: now, Type: obs.EvRound, Shard: s.obsLabel, Value: dur})
+	}
 }
 
 // gcRequestsLocked garbage-collects finished, unreferenced requests from
@@ -824,10 +912,32 @@ func (s *Server) gcRequestsLocked(now float64) {
 			continue
 		}
 		ro, observes := sess.h.(RequestObserver)
-		var reaped []request.ID
 		var collect func(*request.Request)
-		if observes {
-			collect = func(r *request.Request) { reaped = append(reaped, r.ID) }
+		if observes || s.hReap != nil {
+			// One persistent callback serves every session and round; its
+			// inputs live on the server (gcNow/gcObserve/gcReaped scratch).
+			// A per-session closure here would cost one allocation per
+			// session per steady round.
+			if s.gcCollect == nil {
+				s.gcCollect = func(r *request.Request) {
+					if s.gcObserve {
+						s.gcReaped = append(s.gcReaped, r.ID)
+					}
+					if s.hReap != nil {
+						lag := s.gcNow - r.End()
+						if lag < 0 || math.IsNaN(lag) {
+							lag = 0 // withdrawn-but-referenced requests have no end time
+						}
+						s.hReap.Record(lag)
+						s.obs.Event(obs.Event{Time: s.gcNow, Type: obs.EvReap, Shard: s.obsLabel,
+							App: r.AppID, Cluster: string(r.Cluster), Request: int(r.ID), Value: lag})
+					}
+				}
+			}
+			s.gcNow = now
+			s.gcObserve = observes
+			s.gcReaped = s.gcReaped[:0]
+			collect = s.gcCollect
 		}
 		app.PA.GC(now, collect)
 		app.NP.GC(now, collect)
@@ -835,7 +945,8 @@ func (s *Server) gcRequestsLocked(now float64) {
 		if app.PA.Len()+app.NP.Len()+app.P.Len() != before {
 			s.touchLocked(id)
 		}
-		if observes && len(reaped) > 0 {
+		if observes && len(s.gcReaped) > 0 {
+			reaped := append([]request.ID(nil), s.gcReaped...)
 			sort.Slice(reaped, func(i, j int) bool { return reaped[i] < reaped[j] })
 			s.pending = append(s.pending, func() { ro.OnRequestsReaped(reaped) })
 		}
@@ -893,6 +1004,7 @@ func (s *Server) startRequestsLocked(outcome *core.Outcome, now float64) {
 		case request.PreAlloc:
 			r.StartedAt = now
 			s.touchLocked(r.AppID)
+			s.recordStartLocked(r, now)
 			h := sess.h
 			id := r.ID
 			s.pending = append(s.pending, func() { h.OnStart(id, nil) })
@@ -936,6 +1048,7 @@ func (s *Server) startRequestsLocked(outcome *core.Outcome, now float64) {
 			r.NodeIDs = ids
 			r.StartedAt = now
 			s.touchLocked(r.AppID)
+			s.recordStartLocked(r, now)
 			sess.held += need
 			s.recordAllocLocked(sess, now)
 			h := sess.h

@@ -2,9 +2,12 @@
 """Fail CI when a benchmark regresses versus the merge-base.
 
 Reads two `go test -bench` outputs (base, head), takes the per-benchmark
-median of ns/op and allocs/op over the repeated -count runs, and exits
-non-zero if any benchmark present in BOTH files got slower (ns/op) or more
-allocation-hungry (allocs/op) by more than --max-regression percent.
+median of ns/op, allocs/op and p99-wait-s over the repeated -count runs,
+and exits non-zero if any benchmark present in BOTH files got slower
+(ns/op), more allocation-hungry (allocs/op), or longer-tailed (p99-wait-s,
+the admit->start wait quantile the federated benchmarks report) by more
+than --max-regression percent. Metrics present on only one side are
+ignored, as is a zero base (no relative regression is computable).
 benchstat renders the human-readable comparison in the CI log; this gate is
 deliberately version-independent of benchstat's output format.
 
@@ -21,6 +24,9 @@ LINE = re.compile(
     r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)$"
 )
 ALLOCS = re.compile(r"([\d.]+) allocs/op")
+P99WAIT = re.compile(r"([\d.eE+-]+) p99-wait-s")
+
+GATED_METRICS = ("ns/op", "allocs/op", "p99-wait-s")
 
 
 def parse(path):
@@ -31,11 +37,15 @@ def parse(path):
             if not m:
                 continue
             name, ns, rest = m.group(1), float(m.group(2)), m.group(3)
-            entry = runs.setdefault(name, {"ns/op": [], "allocs/op": []})
+            entry = runs.setdefault(
+                name, {metric: [] for metric in GATED_METRICS})
             entry["ns/op"].append(ns)
             am = ALLOCS.search(rest)
             if am:
                 entry["allocs/op"].append(float(am.group(1)))
+            pm = P99WAIT.search(rest)
+            if pm:
+                entry["p99-wait-s"].append(float(pm.group(1)))
     return {
         name: {
             metric: statistics.median(vals)
@@ -62,7 +72,7 @@ def main():
 
     failed = False
     for name in shared:
-        for metric in ("ns/op", "allocs/op"):
+        for metric in GATED_METRICS:
             if metric not in base[name] or metric not in head[name]:
                 continue
             b, h = base[name][metric], head[name][metric]
