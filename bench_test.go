@@ -470,6 +470,61 @@ func BenchmarkFederatedThroughputSkewed(b *testing.B) {
 	}
 }
 
+// BenchmarkCrossShardGang measures the two-phase reservation cycle: each
+// iteration submits a parent leg on one shard and a NEXT/COALLOC child leg
+// on the other, then steps simulated time until the gang commits and both
+// legs run out. Reported alongside ns/op: end-to-end gang throughput, the
+// hold→commit reservation latency quantiles (simulated seconds, from the
+// coordinator's fed.gang_reserve_seconds histogram), and the commit ratio
+// (1.0 — an uncontended federation must never abort).
+func BenchmarkCrossShardGang(b *testing.B) {
+	const shards = 2
+	e := sim.NewEngine()
+	clk := clock.SimClock{E: e}
+	reg := obs.NewRegistry()
+	fed := federation.New(federation.Config{
+		Clusters:        map[view.ClusterID]int{"c00": 128, "c01": 128},
+		Shards:          shards,
+		ReschedInterval: 1,
+		GracePeriod:     1e18,
+		Clock:           clk,
+		Obs:             reg,
+	})
+	sess := fed.Connect(inertApp{})
+	e.Run(5) // settle initial rounds
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		how := request.Next
+		if i%2 == 1 {
+			how = request.Coalloc
+		}
+		parent, err := sess.Request(rms.RequestSpec{
+			Cluster: "c00", N: 2, Duration: 2, Type: request.NonPreempt,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Request(rms.RequestSpec{
+			Cluster: "c01", N: 2, Duration: 2, Type: request.NonPreempt,
+			RelatedHow: how, RelatedTo: parent,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		// Parent (2 s) + aligned child (2 s) + coordinator timers all fit
+		// well inside one 8 s step.
+		e.Run(e.Now() + 8)
+	}
+	b.StopTimer()
+	gang := reg.Hist("fed.gang_reserve_seconds")
+	committed := gang.Stat().Count
+	if committed != uint64(b.N) {
+		b.Fatalf("committed %d of %d gangs — uncontended runs must commit every reservation", committed, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "gangs/s")
+	b.ReportMetric(gang.Quantile(0.5), "p50-reserve-s")
+	b.ReportMetric(gang.Quantile(0.99), "p99-reserve-s")
+}
+
 // BenchmarkFederatedThroughputParallel measures real-clock, truly parallel
 // request throughput: shards run behind their own locks, and concurrent
 // sessions hammer request()/done() cycles on per-goroutine clusters. With

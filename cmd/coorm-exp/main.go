@@ -28,11 +28,11 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig9|fig10|fig11|ablation|accounting|replay|federated|chaos|nodechaos|rebalance|all")
+		exp    = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig9|fig10|fig11|ablation|accounting|replay|federated|chaos|nodechaos|rebalance|gang|all")
 		seed   = flag.Int64("seed", 1, "base random seed")
 		full   = flag.Bool("full", false, "paper scale (1000 steps, 3.16 TiB) instead of the fast reduced scale")
 		steps  = flag.Int("steps", 0, "override profile length (0 = scale default)")
-		report = flag.String("report", "text", "chaos|nodechaos|rebalance output: text (aligned table) or json (full report incl. obs snapshot)")
+		report = flag.String("report", "text", "chaos|nodechaos|rebalance|gang output: text (aligned table) or json (full report incl. obs snapshot)")
 	)
 	sc := registerScenarioFlags()
 	flag.Parse()
@@ -124,6 +124,12 @@ func main() {
 		matched = true
 		run("Node chaos — machine failures under kill/requeue/cooperative recovery", func() error {
 			return emit(nodeChaosExp(*seed, sc))
+		})
+	}
+	if all || *exp == "gang" {
+		matched = true
+		run("Gang — cross-shard two-phase reservations under chaos", func() error {
+			return emit(gangExp(*seed, sc))
 		})
 	}
 	if all || *exp == "rebalance" {
@@ -400,6 +406,7 @@ type scenarioOpts struct {
 	hotFrac          float64
 	rebalInterval    float64
 	skewRatio        float64
+	gangFrac         float64
 }
 
 // registerScenarioFlags declares the shared scenario flags on the default
@@ -415,6 +422,7 @@ func registerScenarioFlags() *scenarioOpts {
 	flag.Float64Var(&sc.hotFrac, "hot-frac", 0.75, "rebalance: fraction of the trace pinned to shard 0's clusters")
 	flag.Float64Var(&sc.rebalInterval, "rebalance-interval", 120, "rebalance: seconds between load checks")
 	flag.Float64Var(&sc.skewRatio, "skew-ratio", 2, "rebalance: migrate when the hottest shard exceeds this ratio of the coldest")
+	flag.Float64Var(&sc.gangFrac, "gang-frac", 0.5, "gang: fraction of jobs given a cross-shard companion leg")
 	return sc
 }
 
@@ -493,6 +501,62 @@ func chaosExp(seed int64, sc *scenarioOpts) (*experiments.Report, error) {
 				strconv.Itoa(res.Crashes),
 				strconv.Itoa(res.Completed), strconv.Itoa(res.Killed), strconv.Itoa(res.Rejected),
 				strconv.Itoa(res.RequeuedRequests), strconv.Itoa(res.ReplayedRequests), strconv.Itoa(res.DroppedRequests),
+				f(res.MeanWait, 1), f(res.Makespan, 0), f(100*res.UsedFraction, 2),
+				fmt.Sprintf("%016x", res.EventHash),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// gangExp measures cross-shard gang scheduling: a fraction of the rigid
+// jobs carries a NEXT/COALLOC companion leg on the next shard, driving the
+// two-phase reservation coordinator (hold → align → commit/abort) while the
+// seeded fault plan crashes shards — participant and coordinator sides
+// alike — mid-reservation. The abort-rate column is the fraction of gangs
+// the coordinator gave up on (crashed holds under the kill policy plus
+// unfittable legs past the backoff budget); same seed ⇒ identical row
+// including the event-stream hash.
+func gangExp(seed int64, sc *scenarioOpts) (*experiments.Report, error) {
+	opts := *sc
+	if opts.shards < 2 {
+		opts.shards = 2
+	}
+	jobs := workload.Synthetic(stats.NewRand(seed), workload.SyntheticConfig{
+		Jobs: 150, MaxNodes: 16, MeanInterArr: 60, MeanRuntime: 1200,
+		PowerOfTwoBias: 0.5,
+	})
+	st := workload.Summarize(jobs)
+	rep := &experiments.Report{
+		Name: "gang",
+		Notes: []string{fmt.Sprintf("trace: %d jobs, %.3g node·s, max %d nodes/job; %d shards, %.3g crashes/shard/h, gang fraction %.2g",
+			st.Jobs, st.TotalArea, st.MaxNodes, opts.shards, opts.crashRate, opts.gangFrac)},
+		Header: []string{"policy", "seed", "crashes", "done", "committed", "aborted",
+			"retried", "abort-%", "mean-wait-s", "makespan-s", "used-%", "event-hash"},
+	}
+	for _, pol := range []federation.RecoveryPolicy{federation.KillOnCrash, federation.RequeueOnCrash} {
+		for s := seed; s < seed+3; s++ {
+			cfg := opts.chaosConfig(s, pol, jobs, false, false)
+			cfg.GangFraction = opts.gangFrac
+			if rep.Obs == nil && len(rep.Rows) == 0 {
+				cfg.Obs = obs.NewRegistry()
+			}
+			res, err := experiments.RunChaosReplay(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.Obs != nil {
+				rep.Obs = res.Snapshot
+			}
+			abortPct := 0.0
+			if n := res.GangsCommitted + res.GangsAborted; n > 0 {
+				abortPct = 100 * float64(res.GangsAborted) / float64(n)
+			}
+			rep.Rows = append(rep.Rows, []string{
+				pol.String(), strconv.FormatInt(s, 10),
+				strconv.Itoa(res.Crashes), strconv.Itoa(res.Completed),
+				strconv.Itoa(res.GangsCommitted), strconv.Itoa(res.GangsAborted),
+				strconv.Itoa(res.GangsRetried), f(abortPct, 1),
 				f(res.MeanWait, 1), f(res.Makespan, 0), f(100*res.UsedFraction, 2),
 				fmt.Sprintf("%016x", res.EventHash),
 			})

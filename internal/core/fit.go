@@ -37,6 +37,9 @@ func fitScratch(rs *request.Set, vi view.View, t0 float64, sc *scratch) view.Vie
 	for _, r := range rs.All() {
 		if !r.Fixed {
 			r.EarliestScheduleAt = t0
+			if r.NotBefore > r.EarliestScheduleAt {
+				r.EarliestScheduleAt = r.NotBefore
+			}
 			r.ScheduledAt = math.Inf(1)
 		}
 	}

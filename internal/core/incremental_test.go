@@ -30,6 +30,7 @@ type diffOp struct {
 	dur     float64
 	typ     request.Type
 	how     request.Relation
+	nb      float64 // NotBefore floor for hold/setnb ops
 }
 
 // diffMirror is one scheduler with ID-indexed request bookkeeping.
@@ -84,6 +85,27 @@ func (m *diffMirror) apply(t *testing.T, op diffOp, now float64) {
 		a.NP.GC(now, collect)
 		a.P.GC(now, collect)
 		m.s.MarkAppDirty(op.app)
+	case "hold":
+		// Mirrors rms.HoldObserved: a pending request that reserves CBF
+		// capacity from a NotBefore floor but is never started.
+		a := m.s.App(op.app)
+		r := request.New(op.req, op.app, op.cluster, op.n, op.dur, op.typ, request.Free, nil)
+		r.Held = true
+		if op.nb > 0 {
+			r.NotBefore = op.nb
+		}
+		a.SetFor(op.typ).Add(r)
+		m.reqs[r.ID] = r
+		m.s.MarkAppDirty(op.app)
+	case "commit":
+		// Mirrors rms.CommitHold: the hold becomes an ordinary pending
+		// request, keeping its NotBefore floor.
+		m.reqs[op.req].Held = false
+		m.s.MarkAppDirty(op.app)
+	case "setnb":
+		// Mirrors rms.SetNotBefore during gang alignment.
+		m.reqs[op.req].NotBefore = op.nb
+		m.s.MarkAppDirty(op.app)
 	case "addcluster":
 		m.s.AddCluster(op.cluster, op.n)
 	default:
@@ -128,6 +150,9 @@ func (m *diffMirror) compareTo(o *diffMirror, outA, outB *Outcome) error {
 	for i := range outA.ToStart {
 		if outA.ToStart[i].ID != outB.ToStart[i].ID {
 			return fmt.Errorf("ToStart[%d] = %d != %d", i, outA.ToStart[i].ID, outB.ToStart[i].ID)
+		}
+		if outA.ToStart[i].Held {
+			return fmt.Errorf("ToStart[%d] = %d is a hold — holds must never start", i, outA.ToStart[i].ID)
 		}
 	}
 	if len(m.reqs) != len(o.reqs) {
@@ -185,7 +210,7 @@ func TestIncrementalMatchesFullRecompute(t *testing.T) {
 				for _, a := range inc.s.Apps() {
 					appIDs = append(appIDs, a.ID)
 				}
-				switch rng.Intn(10) {
+				switch rng.Intn(13) {
 				case 0:
 					if len(appIDs) < 6 {
 						apply(diffOp{kind: "connect", app: nextApp})
@@ -277,6 +302,60 @@ func TestIncrementalMatchesFullRecompute(t *testing.T) {
 				case 9:
 					if len(appIDs) > 0 {
 						apply(diffOp{kind: "gc", app: appIDs[rng.Intn(len(appIDs))]})
+					}
+				case 10:
+					// Place a reservation hold, sometimes with a future
+					// NotBefore floor (the gang coordinator's alignment).
+					if len(appIDs) == 0 {
+						continue
+					}
+					op := diffOp{
+						kind: "hold", app: appIDs[rng.Intn(len(appIDs))], req: nextReq,
+						cluster: clusterIDs[rng.Intn(len(clusterIDs))],
+						n:       1 + rng.Intn(6),
+						dur:     20 + rng.Float64()*200,
+						typ:     request.NonPreempt,
+					}
+					if rng.Intn(2) == 0 {
+						op.typ = request.Preempt
+					}
+					if rng.Intn(2) == 0 {
+						op.nb = now + rng.Float64()*100
+					}
+					apply(op)
+					nextReq++
+				case 11:
+					// Commit, re-floor, or release a random live hold.
+					var cands []*request.Request
+					for _, r := range inc.reqs {
+						if r.Held {
+							cands = append(cands, r)
+						}
+					}
+					if len(cands) == 0 {
+						continue
+					}
+					r := cands[rng.Intn(len(cands))]
+					switch rng.Intn(3) {
+					case 0:
+						apply(diffOp{kind: "commit", app: r.AppID, req: r.ID})
+					case 1:
+						apply(diffOp{kind: "setnb", app: r.AppID, req: r.ID, nb: now + rng.Float64()*150})
+					default:
+						apply(diffOp{kind: "withdraw", app: r.AppID, req: r.ID})
+					}
+				case 12:
+					// Raise the floor of a random pending (unstarted,
+					// unheld) request — SetNotBefore is legal on those too.
+					var cands []*request.Request
+					for _, r := range inc.reqs {
+						if !r.Started() && !r.Finished && !r.Held {
+							cands = append(cands, r)
+						}
+					}
+					if len(cands) > 0 {
+						r := cands[rng.Intn(len(cands))]
+						apply(diffOp{kind: "setnb", app: r.AppID, req: r.ID, nb: now + rng.Float64()*80})
 					}
 				}
 			}

@@ -508,10 +508,12 @@ func (s *Scheduler) Schedule(now float64) *Outcome {
 }
 
 // appendToStart collects the requests of rs whose computed start time has
-// arrived at time now.
+// arrived at time now. Held requests reserve capacity in the schedule but
+// never start — a reservation coordinator commits (clears Held) or releases
+// them.
 func appendToStart(dst *[]*request.Request, rs []*request.Request, now float64) {
 	for _, r := range rs {
-		if r.Started() || r.Finished {
+		if r.Started() || r.Finished || r.Held {
 			continue
 		}
 		if math.IsInf(r.ScheduledAt, 1) {

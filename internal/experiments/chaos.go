@@ -48,6 +48,14 @@ type ChaosReplayConfig struct {
 	Rebalance *federation.RebalancerConfig
 	// PSATaskDur, when positive, adds one scavenging PSA per cluster.
 	PSATaskDur float64
+	// GangFraction, in [0,1], gives that fraction of the rigid jobs a gang
+	// companion: a second request related (alternating NEXT/COALLOC by job
+	// index) to the job's own request, targeting the next cluster in index
+	// order. Under the round-robin partition that cluster starts on the
+	// next shard, so with Shards > 1 the companions exercise the cross-shard
+	// two-phase reservation path; with Shards == 1 they collapse to ordinary
+	// same-shard relations — the 1-shard differential baseline.
+	GangFraction float64
 	// Recovery selects what happens to sessions whose shard crashes.
 	Recovery federation.RecoveryPolicy
 	// NodeRecovery selects what happens to started requests that lose
@@ -121,6 +129,13 @@ type ChaosReplayResult struct {
 	RequeuedRequests int
 	ReplayedRequests int
 	DroppedRequests  int
+
+	// Cross-shard reservation accounting (zero when GangFraction == 0 or
+	// Shards == 1): committed, aborted-for-good, and release→re-place
+	// retried gangs.
+	GangsCommitted int
+	GangsAborted   int
+	GangsRetried   int
 
 	MeanWait float64 // completed rigid jobs only
 	MaxWait  float64
@@ -215,6 +230,9 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 	}
 	if cfg.HotJobFraction < 0 || cfg.HotJobFraction > 1 {
 		return nil, fmt.Errorf("experiments: HotJobFraction %g outside [0,1]", cfg.HotJobFraction)
+	}
+	if cfg.GangFraction < 0 || cfg.GangFraction > 1 {
+		return nil, fmt.Errorf("experiments: GangFraction %g outside [0,1]", cfg.GangFraction)
 	}
 	if cfg.MaxSimTime <= 0 {
 		cfg.MaxSimTime = 1e9
@@ -397,6 +415,27 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 				// refused rather than queued.
 				sess.Disconnect()
 				w.settleOnce("rejected")
+				return
+			}
+			if cfg.GangFraction > 0 && totalClusters > 1 && float64(i%100) < cfg.GangFraction*100 {
+				// Gang companion: a related request on the next cluster —
+				// under the round-robin partition, the next shard. The rigid
+				// job filters foreign IDs, so the companion rides the same
+				// session; it self-finishes when its ¬P duration runs out.
+				// A refused companion (its shard down under KillOnCrash)
+				// leaves the job itself intact.
+				how := request.Next
+				if i%2 == 1 {
+					how = request.Coalloc
+				}
+				_, _ = sess.Request(rms.RequestSpec{
+					Cluster:    federatedCluster((cluster + 1) % totalClusters),
+					N:          n,
+					Duration:   j.Runtime,
+					Type:       request.NonPreempt,
+					RelatedHow: how,
+					RelatedTo:  r.RequestID(),
+				})
 			}
 		})
 	}
@@ -452,6 +491,9 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 	res.NodeKilled = agg.TotalCount(metrics.NodeKilledRequests)
 	res.NodeRequeued = agg.TotalCount(metrics.NodeRequeuedRequests)
 	res.NodeReduced = agg.TotalCount(metrics.NodeReducedRequests)
+	res.GangsCommitted = agg.TotalCount(metrics.GangCommitted)
+	res.GangsAborted = agg.TotalCount(metrics.GangAborted)
+	res.GangsRetried = agg.TotalCount(metrics.GangRetried)
 	res.Makespan = e.Now()
 	res.Events = e.Processed()
 	res.EventHash = hash

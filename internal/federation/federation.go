@@ -30,9 +30,15 @@
 // rejoins empty. Survivors keep running against views re-merged without the
 // dead shard.
 //
-// Known limitation: a request may only relate (NEXT/COALLOC) to a request
-// on the same shard, i.e. targeting a cluster owned by the same shard.
-// Cross-shard placement is a ROADMAP open item.
+// Cross-shard gang scheduling: a request may relate (NEXT/COALLOC) to a
+// request on another shard. The Federator runs a two-phase reservation for
+// such gangs (see gang.go): a tentative hold reserves capacity in the child
+// shard's schedule (rms.Session.HoldObserved), a coordinator aligns the two
+// legs by exchanging NotBefore floors, and the hold is committed into a real
+// request when both legs fit — or released and retried with backoff, then
+// dropped, when the child leg cannot fit at all. Shard-locally the legs are
+// unrelated (the relation lives in the federated spec only), so holds never
+// entangle clusters: committed gangs stay migratable.
 package federation
 
 import (
@@ -175,7 +181,14 @@ type Federator struct {
 	hMerge    *obs.Histogram
 	hMigrate  *obs.Histogram
 	hOutage   *obs.Histogram
+	hGang     *obs.Histogram
 	crashedAt []float64
+
+	// reschedInterval mirrors the per-shard re-scheduling interval: the gang
+	// coordinator paces its reservation evaluations on it, so a hold→commit
+	// window always spans at least one shard round (and chaos faults can land
+	// inside it).
+	reschedInterval float64
 }
 
 // noteMerge records one merged-view delivery in which `dirty` of `total`
@@ -251,11 +264,16 @@ func New(cfg Config) *Federator {
 		nextApp:      1,
 		nextReq:      1,
 	}
+	f.reschedInterval = cfg.ReschedInterval
+	if f.reschedInterval <= 0 {
+		f.reschedInterval = 1
+	}
 	if cfg.Obs != nil {
 		f.obsReg = cfg.Obs
 		f.hMerge = cfg.Obs.Hist("fed.merge_seconds")
 		f.hMigrate = cfg.Obs.Hist("fed.migration_pause_seconds")
 		f.hOutage = cfg.Obs.Hist("fed.outage_seconds")
+		f.hGang = cfg.Obs.Hist("fed.gang_reserve_seconds")
 		f.crashedAt = make([]float64, len(parts))
 		cfg.Obs.RegisterCounters("fed.merge", func() map[string]int64 {
 			dirty, clean := f.MergeStats()
@@ -340,6 +358,7 @@ func (f *Federator) Connect(h rms.AppHandler) *Session {
 		toLocal:    make(map[request.ID]*fedReq),
 		fromLocal:  make([]map[request.ID]request.ID, len(f.shards)),
 		queues:     make([][]request.ID, len(f.shards)),
+		gangs:      make(map[request.ID]*gangState),
 	}
 	for i := range sess.fromLocal {
 		sess.fromLocal[i] = make(map[request.ID]request.ID)
@@ -417,12 +436,22 @@ type CrashReport struct {
 	// Purged counts finished-request mappings discarded with the shard's
 	// state (they could only be referenced by state that no longer exists).
 	Purged int
+	// GangsAborted counts cross-shard reservations whose held leg died with
+	// the shard and was aborted rather than requeued (KillOnCrash). Included
+	// in Purged.
+	GangsAborted int
 }
 
-// String renders the report as one deterministic trace line.
+// String renders the report as one deterministic trace line. The gang field
+// is appended only when present, keeping gang-free traces byte-identical to
+// earlier versions.
 func (r CrashReport) String() string {
-	return fmt.Sprintf("crash shard=%d policy=%s killed=%v requeued=%d purged=%d",
+	line := fmt.Sprintf("crash shard=%d policy=%s killed=%v requeued=%d purged=%d",
 		r.Shard, r.Policy, r.Killed, r.Requeued, r.Purged)
+	if r.GangsAborted > 0 {
+		line += fmt.Sprintf(" gangs-aborted=%d", r.GangsAborted)
+	}
+	return line
 }
 
 // RestartReport summarizes a shard restart.
@@ -476,10 +505,13 @@ func (f *Federator) CrashShard(i int) CrashReport {
 	type purgeNotice struct{ ended, reaped []request.ID }
 	notices := make(map[*Session]purgeNotice)
 	for _, sess := range sessions {
-		affected, requeued, purged, ended, reaped := sess.absorbCrash(i, f.recovery)
+		affected, requeued, purged, gangsAborted, ended, reaped := sess.absorbCrash(i, f.recovery)
 		rep.Requeued += requeued
 		rep.Purged += purged
+		rep.GangsAborted += gangsAborted
 		f.count(sess.id, metrics.RequeuedRequests, requeued)
+		f.count(0, metrics.GangAborted, gangsAborted)
+		f.count(sess.id, metrics.DroppedRequests, gangsAborted)
 		if len(reaped) > 0 {
 			notices[sess] = purgeNotice{ended, reaped}
 		}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"reflect"
-	"strings"
 	"sync"
 	"testing"
 
@@ -182,24 +181,43 @@ func TestUnknownClusterAndRequestErrors(t *testing.T) {
 	}
 }
 
-func TestCrossShardRelationRejected(t *testing.T) {
+// TestCrossShardRelationAccepted: historically a NEXT/COALLOC relation
+// crossing shards was rejected outright; the two-phase reservation
+// coordinator now accepts it, holds capacity on the child's shard, and
+// commits once the legs align.
+func TestCrossShardRelationAccepted(t *testing.T) {
 	e, f := newTestFederation(3)
-	sess := f.Connect(&testApp{})
-	id, err := sess.Request(rms.RequestSpec{Cluster: cA, N: 1, Duration: 1000, Type: request.NonPreempt})
+	app := &testApp{}
+	sess := f.Connect(app)
+	id, err := sess.Request(rms.RequestSpec{Cluster: cA, N: 1, Duration: 5, Type: request.NonPreempt})
 	if err != nil {
 		t.Fatal(err)
 	}
 	e.Run(2)
-	_, err = sess.Request(rms.RequestSpec{Cluster: cB, N: 1, Duration: 1000, Type: request.NonPreempt,
+	child, err := sess.Request(rms.RequestSpec{Cluster: cB, N: 1, Duration: 5, Type: request.NonPreempt,
 		RelatedHow: request.Next, RelatedTo: id})
-	if err == nil || !strings.Contains(err.Error(), "cross-shard") {
-		t.Fatalf("cross-shard relation error = %v, want cross-shard rejection", err)
+	if err != nil {
+		t.Fatalf("cross-shard NEXT relation = %v, want acceptance via reservation", err)
 	}
 	// Same-shard relations still work.
-	if _, err := sess.Request(rms.RequestSpec{Cluster: cA, N: 2, Duration: 1000, Type: request.NonPreempt,
+	if _, err := sess.Request(rms.RequestSpec{Cluster: cA, N: 2, Duration: 5, Type: request.NonPreempt,
 		RelatedHow: request.Next, RelatedTo: id}); err != nil {
 		t.Fatalf("same-shard NEXT relation: %v", err)
 	}
+	e.Run(40)
+	app.mu.Lock()
+	started := map[request.ID]bool{}
+	for _, st := range app.starts {
+		started[st.id] = true
+	}
+	app.mu.Unlock()
+	if len(started) != 3 {
+		t.Fatalf("started = %v, want all 3 requests (gang child committed and run)", started)
+	}
+	if !started[child] {
+		t.Fatalf("cross-shard gang child %d never started; starts = %v", child, started)
+	}
+	mustCheck(t, f)
 }
 
 func TestDoneReleasesOnOwningShard(t *testing.T) {

@@ -48,12 +48,16 @@ func (r MigrationReport) String() string {
 // MigrateCluster moves cluster cid and all of its scheduler-side state to
 // shard `to`. It fails — leaving every shard untouched — if the cluster is
 // unknown, already owned by the target, the donor or target shard is down,
-// the donor would be left clusterless (rms.ErrLastCluster), or an
-// unfinished request on the cluster relates to a request on another donor
-// cluster (rms.ErrEntangled; migrating one side would create an unsupported
-// cross-shard relation). On success the owner table, the sessions' ID
-// tables and the merged views all reflect the new topology before the call
-// returns, and the cluster is placed exactly once: a failure after the
+// or the donor would be left clusterless (rms.ErrLastCluster). A live
+// NEXT/COALLOC relation crossing from the cluster to another donor cluster
+// no longer blocks the move (the historical rms.ErrEntangled failure): the
+// donor is drained with DetachClusterSevering, which converts each crossing
+// relation into a NotBefore floor carrying the same timing intent — the
+// relation's constraint survives the cut, and the federation's cross-shard
+// gangs (whose legs are shard-locally unrelated holds, see gang.go) were
+// never entangling to begin with. On success the owner table, the sessions'
+// ID tables and the merged views all reflect the new topology before the
+// call returns, and the cluster is placed exactly once: a failure after the
 // donor was drained re-attaches the snapshot to the donor.
 func (f *Federator) MigrateCluster(cid view.ClusterID, to int) (MigrationReport, error) {
 	if to < 0 || to >= len(f.shards) {
@@ -86,7 +90,7 @@ func (f *Federator) MigrateCluster(cid view.ClusterID, to int) (MigrationReport,
 	sessions := f.sessionsLocked()
 	f.mu.Unlock()
 
-	snap, err := f.shards[from].DetachCluster(cid)
+	snap, err := f.shards[from].DetachClusterSevering(cid)
 	if err != nil {
 		return rep, err
 	}
@@ -124,6 +128,7 @@ func (f *Federator) MigrateCluster(cid view.ClusterID, to int) (MigrationReport,
 	// re-merged result.
 	for _, sess := range sessions {
 		sess.noteClusterMoved(cid, from)
+		sess.rehomeDetachedHolds(cid, to)
 	}
 	for _, sess := range sessions {
 		sess.pushMerged()

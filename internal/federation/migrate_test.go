@@ -136,18 +136,21 @@ func TestMigrateClusterErrors(t *testing.T) {
 	if _, err := f.MigrateCluster(cA, 5); err == nil {
 		t.Fatal("migrated to an out-of-range shard")
 	}
-	// alpha↔gamma are entangled by the live COALLOC.
-	if _, err := f.MigrateCluster(cC, 1); !errors.Is(err, rms.ErrEntangled) {
-		t.Fatalf("entangled migration = %v, want ErrEntangled", err)
+	// alpha↔gamma carry a live COALLOC. Historically this raised
+	// rms.ErrEntangled; the severing detach now migrates the cluster,
+	// converting the crossing relation into an equivalent NotBefore floor.
+	if _, err := f.MigrateCluster(cC, 1); err != nil {
+		t.Fatalf("entangled migration = %v, want success after ErrEntangled relaxation", err)
 	}
-	// beta is shard 1's only cluster.
-	if _, err := f.MigrateCluster(cB, 0); !errors.Is(err, rms.ErrLastCluster) {
+	mustCheck(t, f)
+	// alpha is now shard 0's only cluster.
+	if _, err := f.MigrateCluster(cA, 1); !errors.Is(err, rms.ErrLastCluster) {
 		t.Fatalf("last-cluster migration = %v, want ErrLastCluster", err)
 	}
 	// Down shards refuse migrations in either direction.
 	f.CrashShard(1)
-	if _, err := f.MigrateCluster(cC, 1); err == nil || !strings.Contains(err.Error(), "down") {
-		t.Fatalf("migration to down shard = %v", err)
+	if _, err := f.MigrateCluster(cC, 0); err == nil || !strings.Contains(err.Error(), "down") {
+		t.Fatalf("migration from down shard = %v", err)
 	}
 	f.RestartShard(1)
 	mustCheck(t, f)

@@ -20,9 +20,10 @@ import (
 // fill every idle node); a shard's score is the sum over its clusters. When the
 // hottest shard's score exceeds SkewRatio times the coldest's, the
 // rebalancer migrates the hottest donor cluster whose move strictly narrows
-// the gap, via Federator.MigrateCluster. Clusters that cannot move —
-// entangled by live cross-cluster relations, or the donor's last cluster —
-// are skipped in favour of the next candidate.
+// the gap, via Federator.MigrateCluster. Clusters that cannot move — the
+// donor's last cluster, or a racing topology change — are skipped in
+// favour of the next candidate. (Live cross-cluster relations no longer
+// block a move: the severing detach converts them into NotBefore floors.)
 //
 // Checks run on the federation's clock ("rebalance.check" timer events), so
 // under clock.SimClock the whole rebalancing schedule is part of the
@@ -238,7 +239,7 @@ func (rb *Rebalancer) CheckNow() {
 			}
 			rep, err := rb.f.MigrateCluster(c.cid, target)
 			if err != nil {
-				continue // entangled or racing topology change: next candidate
+				continue // last cluster or racing topology change: next candidate
 			}
 			rb.migrated++
 			rb.requests += rep.Requests

@@ -32,6 +32,10 @@ type fedReq struct {
 	// shard — and must not be re-run.
 	started   bool
 	startedAt float64
+	// held marks the child leg of a cross-shard gang whose two-phase
+	// reservation has not committed yet (see gang.go). While held, id may be
+	// 0 between a release and the backoff re-placement.
+	held bool
 }
 
 // migrateRetryBudget bounds how many times a racing request()/done() call
@@ -85,6 +89,10 @@ type Session struct {
 	// queues holds, per shard, the federated IDs awaiting replay after a
 	// crash, in submission order. Non-empty only while the shard is down.
 	queues [][]request.ID
+	// gangs holds the in-flight cross-shard reservations, keyed by the held
+	// child's federated ID (see gang.go). A record exists exactly while the
+	// child mapping is held.
+	gangs  map[request.ID]*gangState
 	killed bool
 
 	// shardViews holds the latest views pushed by each shard; merged pushes
@@ -158,24 +166,28 @@ func (s *Session) requestOn(shard int, spec rms.RequestSpec) (request.ID, error)
 	}
 	sub := s.subs[shard]
 	local := spec
+	crossShard := false
 	if spec.RelatedHow != request.Free {
 		e, ok := s.toLocal[spec.RelatedTo]
 		if !ok {
 			s.mu.Unlock()
 			return 0, &rms.RequestError{ID: spec.RelatedTo, Related: true, Node: -1, Reason: rms.ReasonNotFound}
 		}
-		if e.shard != shard {
-			s.mu.Unlock()
-			return 0, fmt.Errorf("federation: request targets shard %d but relates to request %d on shard %d (cross-shard relations are not supported)",
-				shard, spec.RelatedTo, e.shard)
-		}
-		if e.queued && sub != nil {
+		switch {
+		case e.shard != shard:
+			// The relation crosses a shard boundary: handled by the two-phase
+			// reservation coordinator (gang.go) instead of a shard-local
+			// relation. The parent may even be queued for replay — the
+			// reservation's evaluation loop waits it out.
+			crossShard = true
+		case e.queued && sub != nil:
 			// Transient real-clock window between a restart's re-admission
 			// and its queue replay; inside the simulator it cannot occur.
 			s.mu.Unlock()
 			return 0, fmt.Errorf("federation: related request %d is awaiting replay on shard %d", spec.RelatedTo, shard)
+		default:
+			local.RelatedTo = e.id
 		}
-		local.RelatedTo = e.id
 	}
 	s.mu.Unlock()
 
@@ -203,7 +215,13 @@ func (s *Session) requestOn(shard int, spec rms.RequestSpec) (request.ID, error)
 		s.queues[shard] = append(s.queues[shard], fid)
 		s.mu.Unlock()
 		s.f.count(s.id, metrics.RequeuedRequests, 1)
+		// A queued cross-shard spec needs no gang record yet: replayQueue
+		// detects the live cross-shard parent and starts the reservation.
 		return fid, nil
+	}
+
+	if crossShard {
+		return s.requestGang(shard, sub, spec)
 	}
 
 	fid := s.f.nextRequestID()
@@ -241,6 +259,8 @@ func (s *Session) Done(id request.ID, released []int) error {
 		// RMS does for a pending-request Done — only recovery drops use the
 		// reap-without-finish signal.
 		s.dropQueuedLocked(e.shard, id)
+		s.clearGangLocked(id)            // a withdrawn gang child needs no reservation
+		s.noteGangParentLocked(id, true) // a withdraw delivers a finish: NEXT is satisfied
 		s.mu.Unlock()
 		s.f.count(s.id, metrics.DroppedRequests, 1)
 		s.notifyWithdrawn(id)
@@ -337,6 +357,14 @@ func (s *Session) teardown(reason string) {
 		return
 	}
 	s.killed = true
+	// Reservation timers die with the session; a racing evalGang fire sees
+	// killed (or a nil gang) and bails.
+	for _, g := range s.gangs {
+		if g.timer != nil {
+			g.timer.Stop()
+		}
+	}
+	s.gangs = nil
 	subs := append([]*rms.Session(nil), s.subs...)
 	s.mu.Unlock()
 	for _, sub := range subs {
@@ -358,15 +386,17 @@ func (s *Session) teardown(reason string) {
 // duration when the shard died — completed work the shard's end-of-round
 // sweep never got to record — and reaped lists every purged mapping (the
 // ended ones plus requests that had finished earlier but were never
-// GC-reaped by the dead shard). The caller delivers the corresponding
+// GC-reaped by the dead shard). gangsAborted counts cross-shard
+// reservations whose held leg died with the shard and was not requeued
+// (their drops ride in reaped). The caller delivers the corresponding
 // observer notifications (and the re-merged views) after the sweep, with
 // no locks held.
-func (s *Session) absorbCrash(shard int, pol RecoveryPolicy) (affected bool, requeued, purged int, ended, reaped []request.ID) {
+func (s *Session) absorbCrash(shard int, pol RecoveryPolicy) (affected bool, requeued, purged, gangsAborted int, ended, reaped []request.ID) {
 	now := s.f.clk.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.killed {
-		return false, 0, 0, nil, nil
+		return false, 0, 0, 0, nil, nil
 	}
 	s.subs[shard] = nil
 	s.shardDown[shard] = true
@@ -394,6 +424,7 @@ func (s *Session) absorbCrash(shard int, pol RecoveryPolicy) (affected bool, req
 			delete(s.toLocal, fid)
 			purged++
 			reaped = append(reaped, fid)
+			s.noteGangParentLocked(fid, true)
 		case e.started && e.spec.Type == request.NonPreempt && now >= e.startedAt+e.spec.Duration:
 			// The allocation ran to its logical end before the crash; only
 			// the shard's sweep (which died with it) hadn't recorded the
@@ -403,6 +434,26 @@ func (s *Session) absorbCrash(shard int, pol RecoveryPolicy) (affected bool, req
 			purged++
 			ended = append(ended, fid)
 			reaped = append(reaped, fid)
+			s.noteGangParentLocked(fid, true)
+		case e.held:
+			// A tentative hold is coordinator-owned state: no allocation ever
+			// ran behind it, so its loss never kills the session (§3.1.4
+			// guards live state). Under RequeueOnCrash the reservation is
+			// queued — relation intact, its parent lives elsewhere — and
+			// replayQueue restarts it; otherwise the gang is aborted and the
+			// child dropped with the reap-without-finish signal.
+			if pol == RequeueOnCrash {
+				e.queued = true
+				e.id = 0
+				s.queues[shard] = append(s.queues[shard], fid)
+				requeued++
+			} else {
+				s.clearGangLocked(fid)
+				delete(s.toLocal, fid)
+				purged++
+				gangsAborted++
+				reaped = append(reaped, fid)
+			}
 		case pol == RequeueOnCrash:
 			// A relation whose parent did not survive to the queue (it was
 			// finished, or already gone) is replayed unconstrained: NEXT
@@ -428,7 +479,7 @@ func (s *Session) absorbCrash(shard int, pol RecoveryPolicy) (affected bool, req
 		}
 	}
 	s.fromLocal[shard] = make(map[request.ID]request.ID)
-	return affected, requeued, purged, ended, reaped
+	return affected, requeued, purged, gangsAborted, ended, reaped
 }
 
 // notifyCrashPurged delivers the observer events for mappings a crash sweep
@@ -542,26 +593,49 @@ func (s *Session) replayQueue(shard int) (replayed, dropped int) {
 			continue
 		}
 		local := e.spec
+		gangReplay := false
 		if local.RelatedHow != request.Free {
 			pe := s.toLocal[local.RelatedTo]
-			if pe == nil || pe.queued || pe.shard != shard {
+			switch {
+			case pe == nil || pe.queued:
 				// The parent's replay failed or it was dropped: cascade.
+				s.clearGangLocked(fid)
 				delete(s.toLocal, fid)
 				s.mu.Unlock()
 				dropped++
 				s.notifyDropped(fid)
 				continue
+			case pe.shard != shard:
+				// A cross-shard relation with a live parent: restart (or, for
+				// a spec queued at submit time, start) the two-phase
+				// reservation instead of submitting a related request.
+				gangReplay = true
+			default:
+				// The parent lives on this same shard — possibly co-located
+				// by a migration since the hold was placed. An ordinary
+				// related replay; any reservation state is obsolete.
+				s.clearGangLocked(fid)
+				e.held = false
+				local.RelatedTo = pe.id
 			}
-			local.RelatedTo = pe.id
 		}
 		sub := s.subs[shard]
 		s.mu.Unlock()
 		if sub == nil {
 			s.mu.Lock()
+			s.clearGangLocked(fid)
 			delete(s.toLocal, fid)
 			s.mu.Unlock()
 			dropped++
 			s.notifyDropped(fid)
+			continue
+		}
+		if gangReplay {
+			if s.replayGang(shard, sub, fid, e) {
+				replayed++
+			} else {
+				dropped++
+			}
 			continue
 		}
 		_, err := sub.RequestObserved(local, func(lid request.ID) {
@@ -573,6 +647,7 @@ func (s *Session) replayQueue(shard int) (replayed, dropped int) {
 		})
 		if err != nil {
 			s.mu.Lock()
+			s.clearGangLocked(fid)
 			delete(s.toLocal, fid)
 			s.mu.Unlock()
 			dropped++
@@ -643,10 +718,38 @@ func (s *Session) checkInvariants(down []bool, owner map[view.ClusterID]int) err
 		if down[e.shard] {
 			return fmt.Errorf("federation: app %d request %d maps to down shard %d", s.id, fid, e.shard)
 		}
+		if e.held {
+			if s.gangs[fid] == nil {
+				return fmt.Errorf("federation: app %d held request %d has no reservation record (leaked hold)", s.id, fid)
+			}
+			if e.spec.RelatedHow == request.Free {
+				return fmt.Errorf("federation: app %d held request %d carries no relation", s.id, fid)
+			}
+			if e.started || e.done {
+				return fmt.Errorf("federation: app %d held request %d has started or finished", s.id, fid)
+			}
+			if e.id == 0 {
+				// Between a release and the backoff re-placement: the hold
+				// has no shard-local presence, only coordinator state.
+				continue
+			}
+		}
 		if got, ok := s.fromLocal[e.shard][e.id]; !ok || got != fid {
 			return fmt.Errorf("federation: app %d request %d: reverse mapping on shard %d is %d", s.id, fid, e.shard, got)
 		}
 		total++
+	}
+	for fid, g := range s.gangs {
+		e := s.toLocal[fid]
+		if e == nil {
+			return fmt.Errorf("federation: app %d reservation record for unknown request %d", s.id, fid)
+		}
+		if !e.held {
+			return fmt.Errorf("federation: app %d reservation record for committed request %d (half-committed gang)", s.id, fid)
+		}
+		if g.child != fid {
+			return fmt.Errorf("federation: app %d reservation record %d names child %d", s.id, fid, g.child)
+		}
 	}
 	reverse := 0
 	for shard, m := range s.fromLocal {
@@ -783,6 +886,7 @@ func (h *shardHandler) OnStart(id request.ID, nodeIDs []int) {
 			e.started = true
 			e.startedAt = s.f.clk.Now()
 		}
+		s.noteGangParentLocked(fid, false)
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -805,6 +909,7 @@ func (h *shardHandler) OnRequestFinished(id request.ID) {
 		if e := s.toLocal[fid]; e != nil {
 			e.done = true
 		}
+		s.noteGangParentLocked(fid, true)
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -826,6 +931,9 @@ func (h *shardHandler) OnRequestsReaped(ids []request.ID) {
 		if fid, ok := s.fromLocal[h.shard][id]; ok {
 			delete(s.fromLocal[h.shard], id)
 			delete(s.toLocal, fid)
+			// A held child can be reaped only through an application-side
+			// withdraw (Done on a pending hold); retire its reservation.
+			s.clearGangLocked(fid)
 			fids = append(fids, fid)
 		}
 	}

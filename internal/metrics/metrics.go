@@ -90,6 +90,15 @@ const (
 	NodeKilledRequests
 	NodeRequeuedRequests
 	NodeReducedRequests
+	// GangCommitted / GangAborted / GangRetried count cross-shard two-phase
+	// reservations (internal/federation gang coordinator): gangs whose hold
+	// converted into a real request, reservations abandoned after exhausting
+	// their alignment/retry budget, and hold re-placements after an abort or
+	// crash. Recorded under pseudo-app 0 — a reservation spans shards and is
+	// a federation-level event.
+	GangCommitted
+	GangAborted
+	GangRetried
 
 	numCounters
 )
@@ -125,6 +134,12 @@ func (c Counter) String() string {
 		return "node-requeued-requests"
 	case NodeReducedRequests:
 		return "node-reduced-requests"
+	case GangCommitted:
+		return "gang-committed"
+	case GangAborted:
+		return "gang-aborted"
+	case GangRetried:
+		return "gang-retried"
 	default:
 		return fmt.Sprintf("Counter(%d)", uint8(c))
 	}

@@ -14,6 +14,8 @@ const (
 	EvRestart     = "restart"      // shard restart (Value = outage seconds)
 	EvNodeFail    = "node_fail"    // machine failures in a cluster (Value = node count)
 	EvNodeRecover = "node_recover" // machine repairs in a cluster (Value = node count)
+	EvGangCommit  = "gang_commit"  // cross-shard reservation committed (Value = hold→commit seconds)
+	EvGangAbort   = "gang_abort"   // cross-shard reservation dropped (Value = hold→abort seconds)
 )
 
 // Event is one structured trace entry: typed, timestamped on the

@@ -91,6 +91,17 @@ type Request struct {
 	Fixed              bool    // start time can no longer be chosen by the RMS
 	EarliestScheduleAt float64 // lower bound used by fit()'s convergence loop
 
+	// Reservation attributes. A held request participates in scheduling
+	// like any pending request — it reserves capacity in the CBF/eqSchedule
+	// window — but the RMS never starts it: a two-phase coordinator owns it
+	// and either commits (clears Held) or releases it. NotBefore is a
+	// persistent lower bound on the start time that survives fit()'s
+	// per-round reset of EarliestScheduleAt; the coordinator uses it to
+	// align legs of a cross-shard gang. Both are zero-valued for ordinary
+	// requests.
+	Held      bool
+	NotBefore float64
+
 	// Post-start attributes.
 	StartedAt float64 // NaN until the request starts
 	NodeIDs   []int   // node IDs allocated to this request (empty for PA)

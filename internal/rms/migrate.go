@@ -3,6 +3,7 @@ package rms
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"coormv2/internal/metrics"
@@ -55,6 +56,12 @@ type RequestState struct {
 	Finished    bool
 	Wrapped     bool
 	SubmittedAt float64 // NaN when never stamped; carried so waits survive migration
+
+	// Held and NotBefore carry two-phase reservation state (see hold.go):
+	// a migrating cluster keeps its tentative holds and start-time floors,
+	// so a reservation coordinator finds them intact on the importing shard.
+	Held      bool
+	NotBefore float64
 }
 
 // SessionClusterState is one application's share of a ClusterSnapshot.
@@ -180,6 +187,53 @@ func (s *Server) ClusterLoads() []ClusterLoad {
 func (s *Server) DetachCluster(cid view.ClusterID) (*ClusterSnapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.detachClusterLocked(cid, false)
+}
+
+// DetachClusterSevering is DetachCluster with the entanglement check
+// replaced by deterministic relation severing: every live NEXT/COALLOC edge
+// crossing the cluster boundary is converted into a NotBefore pin on the
+// unstarted child (the start-time target the relation implied at the detach
+// instant) and then cut on both sides, so the cluster always detaches. The
+// federation uses it for MigrateCluster — its reservation coordinator keeps
+// cross-shard gang legs unrelated at the shard level and re-aligns them
+// through the same NotBefore mechanism, so a severed pin is exactly the
+// state the coordinator would have produced.
+func (s *Server) DetachClusterSevering(cid view.ClusterID) (*ClusterSnapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.detachClusterLocked(cid, true)
+}
+
+// severRelationLocked converts r's relation into a NotBefore pin (for an
+// unstarted child: the parent-derived start target, when finite) and cuts
+// the edge.
+func severRelationLocked(r *request.Request) {
+	parent := r.RelatedTo
+	if !r.Started() {
+		target := math.Inf(1)
+		switch r.RelatedHow {
+		case request.Coalloc:
+			if parent.Started() {
+				target = parent.StartedAt
+			} else {
+				target = parent.ScheduledAt
+			}
+		case request.Next:
+			if parent.Started() {
+				target = parent.End()
+			} else if !math.IsInf(parent.ScheduledAt, 1) {
+				target = parent.ScheduledAt + parent.Duration
+			}
+		}
+		if !math.IsInf(target, 0) && !math.IsNaN(target) && target > r.NotBefore {
+			r.NotBefore = target
+		}
+	}
+	r.RelatedHow, r.RelatedTo = request.Free, nil
+}
+
+func (s *Server) detachClusterLocked(cid view.ClusterID, sever bool) (*ClusterSnapshot, error) {
 	if s.stopped {
 		return nil, ErrStopped
 	}
@@ -193,15 +247,20 @@ func (s *Server) DetachCluster(cid view.ClusterID) (*ClusterSnapshot, error) {
 	// Eligibility: no unfinished request may have a relation crossing the
 	// cluster boundary. (For unfinished requests the parent is always still
 	// in a set — GC keeps parents of pending/running children — so the
-	// parent's Cluster field is authoritative.)
+	// parent's Cluster field is authoritative.) In severing mode the crossing
+	// edge is pinned and cut instead of failing the detach.
 	for _, id := range s.sessionIDsLocked() {
 		for _, r := range s.sessions[id].app.Requests() {
 			if r.Finished || r.RelatedTo == nil {
 				continue
 			}
 			if (r.Cluster == cid) != (r.RelatedTo.Cluster == cid) {
-				return nil, fmt.Errorf("%w: request %d on %q relates to request %d on %q",
-					ErrEntangled, r.ID, r.Cluster, r.RelatedTo.ID, r.RelatedTo.Cluster)
+				if !sever {
+					return nil, fmt.Errorf("%w: request %d on %q relates to request %d on %q",
+						ErrEntangled, r.ID, r.Cluster, r.RelatedTo.ID, r.RelatedTo.Cluster)
+				}
+				severRelationLocked(r)
+				s.touchLocked(id)
 			}
 		}
 	}
@@ -240,6 +299,7 @@ func (s *Server) DetachCluster(cid view.ClusterID) (*ClusterSnapshot, error) {
 				NodeIDs:            append([]int(nil), r.NodeIDs...),
 				Finished:           r.Finished, Wrapped: r.Wrapped,
 				SubmittedAt: r.SubmittedAt,
+				Held:        r.Held, NotBefore: r.NotBefore,
 			}
 			if r.RelatedTo != nil && inSnap[r.RelatedTo] {
 				rs.RelatedHow, rs.RelatedTo = r.RelatedHow, r.RelatedTo.ID
@@ -353,6 +413,8 @@ func (s *Server) AttachCluster(snap *ClusterSnapshot, observe func(appID int, ol
 			r.Finished = rs.Finished
 			r.Wrapped = rs.Wrapped
 			r.SubmittedAt = rs.SubmittedAt
+			r.Held = rs.Held
+			r.NotBefore = rs.NotBefore
 			byOld[rs.ID] = r
 			sess.app.SetFor(rs.Type).Add(r)
 			moved += len(r.NodeIDs)

@@ -470,6 +470,20 @@ func (s *Server) CheckInvariants() error {
 		sess := s.sessions[id]
 		total := 0
 		for _, r := range sess.app.Requests() {
+			if r.Held {
+				// A hold reserves schedule capacity only: it must never have
+				// started, finished, or acquired node IDs — commit (clearing
+				// Held) is the only path into the start machinery.
+				if r.Started() {
+					return fmt.Errorf("rms: held request %d has started", r.ID)
+				}
+				if r.Finished {
+					return fmt.Errorf("rms: held request %d is finished", r.ID)
+				}
+				if len(r.NodeIDs) > 0 {
+					return fmt.Errorf("rms: held request %d holds %d node IDs", r.ID, len(r.NodeIDs))
+				}
+			}
 			for _, nid := range r.NodeIDs {
 				pool := s.pools[r.Cluster]
 				if pool == nil {
@@ -648,10 +662,13 @@ func (sess *Session) findRequestLocked(id request.ID) *request.Request {
 }
 
 // hasPendingNextChildLocked reports whether some unstarted request is NEXT-
-// chained to r (its node IDs must then be preserved for hand-over).
+// chained to r (its node IDs must then be preserved for hand-over). Only a
+// same-cluster child counts: node IDs are cluster-scoped, so a cross-cluster
+// NEXT child draws fresh IDs from its own pool and parking the parent's IDs
+// for it would leak them when the parent is reaped.
 func (sess *Session) hasPendingNextChildLocked(r *request.Request) bool {
 	for _, q := range sess.app.Requests() {
-		if q.RelatedTo == r && q.RelatedHow == request.Next && !q.Started() && !q.Finished {
+		if q.RelatedTo == r && q.RelatedHow == request.Next && q.Cluster == r.Cluster && !q.Started() && !q.Finished {
 			return true
 		}
 	}
@@ -1010,11 +1027,13 @@ func (s *Server) startRequestsLocked(outcome *core.Outcome, now float64) {
 			s.pending = append(s.pending, func() { h.OnStart(id, nil) })
 
 		default:
-			// Inherit IDs from a finished NEXT parent.
+			// Inherit IDs from a finished NEXT parent. Only a same-cluster
+			// parent can hand IDs over: node IDs are cluster-scoped, so a
+			// cross-cluster NEXT must draw fresh IDs from its own pool.
 			var inherited []int
 			if r.RelatedHow == request.Next && r.RelatedTo != nil {
 				parent := r.RelatedTo
-				if parent.Ended(now) && len(parent.NodeIDs) > 0 {
+				if parent.Cluster == r.Cluster && parent.Ended(now) && len(parent.NodeIDs) > 0 {
 					inherited = parent.NodeIDs
 				}
 			}
@@ -1174,7 +1193,10 @@ func (s *Server) armWakeLocked(now float64, deadline float64) {
 		}
 		for _, set := range [...]*request.Set{app.PA, app.NP, app.P} {
 			for _, r := range set.All() {
-				if !r.Started() && !r.Finished && r.ScheduledAt > now && !math.IsInf(r.ScheduledAt, 1) {
+				// Held requests never start; their scheduled time is not a
+				// wake-worthy instant (the reservation coordinator drives
+				// them on its own timers).
+				if !r.Started() && !r.Finished && !r.Held && r.ScheduledAt > now && !math.IsInf(r.ScheduledAt, 1) {
 					if r.ScheduledAt < next {
 						next = r.ScheduledAt
 					}

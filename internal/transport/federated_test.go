@@ -75,14 +75,15 @@ func TestFederatedRoutingOverTCP(t *testing.T) {
 	if err := c.Done(idW, nil); err != nil {
 		t.Fatal(err)
 	}
-	// Cross-shard relations are rejected over the wire too.
+	// Cross-shard relations are accepted over the wire too: the federation's
+	// reservation coordinator places a hold instead of rejecting.
 	id2, err := c.Request(rms.RequestSpec{Cluster: cEast, N: 1, Duration: 3600, Type: request.NonPreempt})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.Request(rms.RequestSpec{Cluster: cWest, N: 1, Duration: 3600, Type: request.NonPreempt,
-		RelatedHow: request.Next, RelatedTo: id2}); err == nil {
-		t.Error("cross-shard relation should error over the wire")
+		RelatedHow: request.Next, RelatedTo: id2}); err != nil {
+		t.Errorf("cross-shard relation over the wire = %v, want reservation acceptance", err)
 	}
 }
 
