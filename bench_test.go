@@ -28,6 +28,7 @@ import (
 	"coormv2/internal/rms"
 	"coormv2/internal/sim"
 	"coormv2/internal/stats"
+	"coormv2/internal/tenants"
 	"coormv2/internal/view"
 	"coormv2/internal/workload"
 )
@@ -366,6 +367,87 @@ func reportWaitQuantiles(b *testing.B, reg *obs.Registry, shards int) {
 	}
 	b.ReportMetric(wait.Quantile(0.5), "p50-wait-s")
 	b.ReportMetric(wait.Quantile(0.99), "p99-wait-s")
+}
+
+// BenchmarkMultiTenantThroughput runs the steady-fleet churn loop of
+// BenchmarkFederatedThroughput (32 clusters × 256 nodes, 4 shards, 256
+// standing applications, one churn arrival per virtual second) with the
+// DRF queue hierarchy active on every shard: three tenant queues — t0
+// guaranteed half of every cluster, t1/t2 best-effort — and the standing
+// applications tagged round-robin. DRF is not order-stable, so every
+// triggered round pays the policy cost (share tally + ordering + victim
+// scan) on top of scheduling; the gap to BenchmarkFederatedThroughput's
+// shards=4 case is the price of fairness, gated in CI by bench-diff like
+// the other throughput benchmarks.
+func BenchmarkMultiTenantThroughput(b *testing.B) {
+	const (
+		nClusters = 32
+		nodesPer  = 256
+		appsPerCl = 8
+		shards    = 4
+	)
+	e := sim.NewEngine()
+	clk := clock.SimClock{E: e}
+	clusters := make(map[view.ClusterID]int, nClusters)
+	cids := make([]view.ClusterID, nClusters)
+	for i := range cids {
+		cids[i] = view.ClusterID(fmt.Sprintf("c%d", i))
+		clusters[cids[i]] = nodesPer
+	}
+	tree := tenants.NewTree()
+	guarantee := tenants.Resources{}
+	for cid := range clusters {
+		guarantee[cid] = nodesPer / 2
+	}
+	tree.MustAdd("t0", guarantee, nil)
+	tree.MustAdd("t1", nil, nil)
+	tree.MustAdd("t2", nil, nil)
+	reg := obs.NewRegistry()
+	fed := federation.New(federation.Config{
+		Clusters:        clusters,
+		Shards:          shards,
+		ReschedInterval: 1,
+		GracePeriod:     1e18, // standing apps never release; don't kill them
+		Clock:           clk,
+		Obs:             reg,
+		Scheduling: func(int) core.SchedulingPolicy {
+			return tenants.NewDRF(tree)
+		},
+	})
+	for i := 0; i < nClusters*appsPerCl; i++ {
+		cid := cids[i%nClusters]
+		sess := fed.Connect(inertApp{}, rms.WithTenant(fmt.Sprintf("t%d", i%3)))
+		pa, err := sess.Request(rms.RequestSpec{Cluster: cid, N: 16, Duration: 1e9 + float64(i)*1013, Type: request.PreAlloc})
+		if err != nil {
+			b.Fatal(err)
+		}
+		np, err := sess.Request(rms.RequestSpec{Cluster: cid, N: 8, Duration: 1e8 + float64(i)*997, Type: request.NonPreempt,
+			RelatedHow: request.Coalloc, RelatedTo: pa})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Request(rms.RequestSpec{Cluster: cid, N: 12, Duration: 1e8 + float64(i)*991, Type: request.NonPreempt,
+			RelatedHow: request.Next, RelatedTo: np}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Request(rms.RequestSpec{Cluster: cid, N: 4, Duration: math.Inf(1), Type: request.Preempt}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	churn := fed.Connect(inertApp{}, rms.WithTenant("t1"))
+	e.Run(e.Now() + 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := churn.Request(rms.RequestSpec{
+			Cluster: cids[(i/8)%nClusters], N: 1, Duration: 0.4, Type: request.Preempt,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		e.Run(e.Now() + 1)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "requests/s")
+	reportWaitQuantiles(b, reg, shards)
 }
 
 // BenchmarkFederatedThroughputSkewed measures the rebalancer's win under

@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig9|fig10|fig11|ablation|accounting|replay|federated|chaos|nodechaos|rebalance|gang|all")
+		exp    = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig9|fig10|fig11|ablation|accounting|replay|federated|chaos|nodechaos|rebalance|gang|tenants|all")
 		seed   = flag.Int64("seed", 1, "base random seed")
 		full   = flag.Bool("full", false, "paper scale (1000 steps, 3.16 TiB) instead of the fast reduced scale")
 		steps  = flag.Int("steps", 0, "override profile length (0 = scale default)")
@@ -136,6 +136,12 @@ func main() {
 		matched = true
 		run("Rebalance — skewed federated workload with live cluster migration on/off", func() error {
 			return emit(rebalanceExp(*seed, sc))
+		})
+	}
+	if all || *exp == "tenants" {
+		matched = true
+		run("Tenants — multi-tenant queue hierarchy, DRF + quota preemption vs FIFO", func() error {
+			return emit(tenantsExp(*seed, sc))
 		})
 	}
 	if !matched {
@@ -407,6 +413,8 @@ type scenarioOpts struct {
 	rebalInterval    float64
 	skewRatio        float64
 	gangFrac         float64
+	tenants          int
+	tenantHotFrac    float64
 }
 
 // registerScenarioFlags declares the shared scenario flags on the default
@@ -423,6 +431,8 @@ func registerScenarioFlags() *scenarioOpts {
 	flag.Float64Var(&sc.rebalInterval, "rebalance-interval", 120, "rebalance: seconds between load checks")
 	flag.Float64Var(&sc.skewRatio, "skew-ratio", 2, "rebalance: migrate when the hottest shard exceeds this ratio of the coldest")
 	flag.Float64Var(&sc.gangFrac, "gang-frac", 0.5, "gang: fraction of jobs given a cross-shard companion leg")
+	flag.IntVar(&sc.tenants, "tenants", 3, "tenants: tenant-queue count (t0 guaranteed, t1 hot)")
+	flag.Float64Var(&sc.tenantHotFrac, "tenant-hot-frac", 0.5, "tenants: fraction of the trace submitted by the hot best-effort tenant")
 	return sc
 }
 
@@ -680,6 +690,66 @@ func rebalanceExp(seed int64, sc *scenarioOpts) (*experiments.Report, error) {
 				strconv.Itoa(res.MigratedRequests), strconv.Itoa(res.Completed),
 				f(res.MeanWait, 1), f(res.Makespan, 0), f(imbalance, 3),
 				f(100*res.UsedFraction, 2), fmt.Sprintf("%016x", res.EventHash),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// tenantsExp runs the identical skewed multi-tenant trace under
+// connection-order FIFO and under DRF with quota preemption: N tenant
+// queues (t0 guaranteed half of every cluster, t1 the hot best-effort
+// flood), per-cluster scavenging PSAs tagged with the best-effort tenants
+// as the preemptible load. The table reads per tenant and mode: wait
+// mean/p99, quota preemptions suffered, and per-mode wait fairness (Jain)
+// and PSA waste. The DRF run carries the observability registry, so the
+// JSON report includes the per-tenant wait histograms and EvPreempt
+// events every shard records.
+func tenantsExp(seed int64, sc *scenarioOpts) (*experiments.Report, error) {
+	opts := *sc
+	if opts.shards < 2 {
+		opts.shards = 2
+	}
+	if opts.tenants < 2 {
+		opts.tenants = 2
+	}
+	jobs := workload.Synthetic(stats.NewRand(seed), workload.SyntheticConfig{
+		Jobs: 120, MaxNodes: 16, MeanInterArr: 45, MeanRuntime: 900,
+		PowerOfTwoBias: 0.5,
+	})
+	st := workload.Summarize(jobs)
+	rep := &experiments.Report{
+		Name: "tenants",
+		Notes: []string{fmt.Sprintf("trace: %d jobs, %.3g node·s, max %d nodes/job; %d shards, %d tenants, %.0f%% hot-tenant demand",
+			st.Jobs, st.TotalArea, st.MaxNodes, opts.shards, opts.tenants, 100*opts.tenantHotFrac)},
+		Header: []string{"policy", "tenant", "guarantee", "jobs", "done",
+			"mean-wait-s", "p99-wait-s", "preempts", "fairness", "waste-node·s", "used-%"},
+	}
+	for _, drf := range []bool{false, true} {
+		cfg := experiments.TenantsReplayConfig{
+			Jobs: jobs, Tenants: opts.tenants, Shards: opts.shards, NodesPerShard: 64,
+			GuaranteeFrac: 0.5, HotFrac: opts.tenantHotFrac, PSATaskDur: 300, DRF: drf,
+		}
+		if drf {
+			cfg.Obs = obs.NewRegistry()
+		}
+		res, err := experiments.RunTenantsReplay(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Obs != nil {
+			rep.Obs = res.Snapshot
+		}
+		policy := "fifo"
+		if drf {
+			policy = "drf"
+		}
+		for _, ts := range res.Tenants {
+			rep.Rows = append(rep.Rows, []string{
+				policy, ts.Tenant, strconv.Itoa(ts.Guarantee),
+				strconv.Itoa(ts.Jobs), strconv.Itoa(ts.Completed),
+				f(ts.MeanWait, 1), f(ts.P99Wait, 1), strconv.FormatInt(ts.Preempts, 10),
+				f(res.WaitFairness, 3), g(res.TotalWaste), f(100*res.UsedFraction, 2),
 			})
 		}
 	}

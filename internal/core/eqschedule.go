@@ -42,6 +42,7 @@ func (p PreemptPolicy) String() string {
 func eqSchedule(apps []*AppState, vin view.View, t0 float64, policy PreemptPolicy) map[int]view.View {
 	s := NewScheduler(map[view.ClusterID]int{})
 	s.apps = apps
+	s.roundApps = apps
 	s.policy = policy
 	return s.eqScheduleIncremental(vin, t0, &s.sc, false)
 }
@@ -59,7 +60,7 @@ func eqSchedule(apps []*AppState, vin view.View, t0 float64, policy PreemptPolic
 // every application's entry from the previous round, so reused
 // applications skip their map write.
 func (s *Scheduler) eqScheduleIncremental(vin view.View, t0 float64, sc *scratch, outSeeded bool) map[int]view.View {
-	apps := s.apps
+	apps := s.roundApps // this round's policy order (s.apps under FIFO)
 	n := len(apps)
 	if s.outPViews == nil {
 		s.outPViews = make(map[int]view.View, n)
@@ -78,6 +79,15 @@ func (s *Scheduler) eqScheduleIncremental(vin view.View, t0 float64, sc *scratch
 			// No requests: toView and fit would be no-ops on an empty set
 			// and the subtraction below a full copy of vin for nothing.
 			vocc[i] = nil
+			continue
+		}
+		if s.roundDynamic && !a.admitted {
+			// Not admitted: pending preemptible requests stay
+			// unscheduled; only the started/fixed allocations occupy.
+			s.stats.EqOccRecomputed++
+			unschedulePending(a.P)
+			vocc[i] = toViewScratch(a.P, vin, t0, sc)
+			c.eqOK = false
 			continue
 		}
 		if c.eqOK && c.pSettled && allocStable(a.P, vin, t0, c.voccNAlloc) {
@@ -253,6 +263,16 @@ func (s *Scheduler) eqScheduleIncremental(vin view.View, t0 float64, sc *scratch
 			}
 		}
 		c := &a.cache
+		if s.roundDynamic && !a.admitted {
+			// Not admitted: refresh the started allocations against the
+			// granted view but leave pending requests unscheduled.
+			s.stats.EqAppRecomputed++
+			toViewScratch(a.P, v, t0, sc)
+			unschedulePending(a.P)
+			out[a.ID] = v
+			c.eqOK = false
+			continue
+		}
 		if stable && c.eqOK && c.pSettled && grantAllocStable(a.P, v, t0) {
 			s.stats.EqAppReused++
 			if !outSeeded {

@@ -182,13 +182,23 @@ func (m *diffMirror) compareTo(o *diffMirror, outA, outB *Outcome) error {
 // TestIncrementalMatchesFullRecompute is the randomized-churn differential:
 // same op sequence, same clock, byte-identical outputs every round.
 func TestIncrementalMatchesFullRecompute(t *testing.T) {
-	clusterIDs := []view.ClusterID{"ca", "cb", "cc"}
 	for seed := int64(1); seed <= 25; seed++ {
-		rng := rand.New(rand.NewSource(seed))
 		clusters := map[view.ClusterID]int{"ca": 16, "cb": 8, "cc": 12}
-		inc := newDiffMirror(clusters, true)
-		full := newDiffMirror(clusters, false)
+		runDiffChurn(t, seed, newDiffMirror(clusters, true), newDiffMirror(clusters, false))
+	}
+}
 
+// runDiffChurn drives the two mirrored schedulers through the seeded
+// randomized churn sequence (120 rounds of connect/disconnect/request/
+// withdraw/finish/gc/hold/commit/setnb/addcluster ops) and asserts
+// byte-identical outcomes after every round. It is shared by the
+// incremental-vs-full differential above and the policy-path differential
+// in policy_test.go.
+func runDiffChurn(t *testing.T, seed int64, inc, full *diffMirror) {
+	t.Helper()
+	clusterIDs := []view.ClusterID{"ca", "cb", "cc"}
+	rng := rand.New(rand.NewSource(seed))
+	{
 		var nextReq request.ID = 1
 		nextApp := 1
 		now := 0.0

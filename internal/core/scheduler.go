@@ -17,9 +17,22 @@ type AppState struct {
 	ID          int
 	ConnectedAt float64
 
+	// Tenant is the queue path the application belongs to ("org/team/q",
+	// empty for untagged sessions). The core scheduler never reads it;
+	// tenant-aware SchedulingPolicies (internal/tenants) key their
+	// ordering, admission, and preemption decisions on it.
+	Tenant string
+
 	PA *request.Set // pre-allocation requests R_PA
 	NP *request.Set // non-preemptible requests R_¬P
 	P  *request.Set // preemptible requests R_P
+
+	// idx is the application's current position in Scheduler.apps; it is
+	// maintained by every mutation so RemoveApp is O(1) instead of a
+	// linear scan. admitted records the last dynamic round's admission
+	// decision (see SchedulingPolicy.Admit).
+	idx      int
+	admitted bool
 
 	// Occupancy views of the started/fixed requests, maintained by
 	// refreshAppLocked and reused across rounds while the sets are clean.
@@ -66,9 +79,24 @@ func (a *AppState) Requests() []*request.Request {
 // per-application request sets. It implements Algorithm 4 (§A.5).
 type Scheduler struct {
 	clusters map[view.ClusterID]int
-	apps     []*AppState       // CBF (connection) order
+	apps     []*AppState       // CBF (connection) order, sorted when !appsDirty
 	byID     map[int]*AppState // ID → state index for O(1) lookups
 	policy   PreemptPolicy
+
+	// appsDirty marks apps as unsorted (lazy re-sort: AddApp appends and
+	// RemoveApp swap-deletes; ensureSortedLocked restores connection
+	// order before any ordered iteration).
+	appsDirty bool
+
+	// schedPolicy orders and admits applications each round (FIFOPolicy
+	// by default — the paper's connection order, every app admitted).
+	// roundApps/roundDynamic are the current round's iteration slice and
+	// admission-gating flag; orderBuf is the reusable ordering buffer
+	// handed to dynamic policies.
+	schedPolicy  SchedulingPolicy
+	roundApps    []*AppState
+	roundDynamic bool
+	orderBuf     []*AppState
 
 	// clip, when non-nil, limits the non-preemptive view presented to every
 	// application (§3.2's suggested pre-allocation limit).
@@ -126,6 +154,7 @@ func NewScheduler(clusters map[view.ClusterID]int) *Scheduler {
 	return &Scheduler{
 		clusters:    cp,
 		byID:        make(map[int]*AppState),
+		schedPolicy: FIFOPolicy{},
 		incremental: true,
 		baseNP:      view.New(),
 		basePv:      view.New(),
@@ -218,27 +247,33 @@ func (s *Scheduler) AddApp(id int, connectedAt float64) *AppState {
 		panic(fmt.Sprintf("core: duplicate application ID %d", id))
 	}
 	a := NewAppState(id, connectedAt)
+	a.idx = len(s.apps)
 	s.apps = append(s.apps, a)
 	s.byID[id] = a
-	s.sortApps()
+	s.appsDirty = true
 	s.bumpStruct()
 	return a
 }
 
 // RemoveApp unregisters an application (session ended or killed).
-// It returns the removed state, or nil if the ID is unknown.
+// It returns the removed state, or nil if the ID is unknown. The removal
+// is O(1): the tracked slice index lets it swap-delete and the list is
+// re-sorted lazily before the next ordered iteration, so tearing down a
+// fleet of n applications costs O(n), not O(n²).
 func (s *Scheduler) RemoveApp(id int) *AppState {
 	a, ok := s.byID[id]
 	if !ok {
 		return nil
 	}
 	delete(s.byID, id)
-	for i, b := range s.apps {
-		if b == a {
-			s.apps = append(s.apps[:i], s.apps[i+1:]...)
-			break
-		}
+	i, last := a.idx, len(s.apps)-1
+	if i != last {
+		s.apps[i] = s.apps[last]
+		s.apps[i].idx = i
+		s.appsDirty = true
 	}
+	s.apps[last] = nil
+	s.apps = s.apps[:last]
 	s.bumpStruct()
 	return a
 }
@@ -247,7 +282,19 @@ func (s *Scheduler) RemoveApp(id int) *AppState {
 func (s *Scheduler) App(id int) *AppState { return s.byID[id] }
 
 // Apps returns the applications in scheduling (connection) order.
-func (s *Scheduler) Apps() []*AppState { return s.apps }
+func (s *Scheduler) Apps() []*AppState {
+	s.ensureSortedLocked()
+	return s.apps
+}
+
+// ensureSortedLocked restores connection order after lazy mutations.
+func (s *Scheduler) ensureSortedLocked() {
+	if !s.appsDirty {
+		return
+	}
+	s.sortApps()
+	s.appsDirty = false
+}
 
 func (s *Scheduler) sortApps() {
 	sort.SliceStable(s.apps, func(i, j int) bool {
@@ -256,6 +303,9 @@ func (s *Scheduler) sortApps() {
 		}
 		return s.apps[i].ID < s.apps[j].ID
 	})
+	for i, a := range s.apps {
+		a.idx = i
+	}
 }
 
 // Outcome is the result of one scheduling round: the views to present to
@@ -289,8 +339,13 @@ type Outcome struct {
 func (s *Scheduler) Schedule(now float64) *Outcome {
 	sc := &s.sc
 	s.stats.Rounds++
+	s.ensureSortedLocked()
 
-	if s.structGen != s.cacheGen || !s.incremental {
+	// A dynamic scheduling policy may reorder or gate applications
+	// differently every round; the chain-reuse and fold caches assume
+	// connection order, so every dynamic round is a full round.
+	dynamic := !s.schedPolicy.Stable()
+	if s.structGen != s.cacheGen || !s.incremental || dynamic {
 		s.invalidateDerivedLocked()
 		if !s.incremental {
 			for _, a := range s.apps {
@@ -300,6 +355,32 @@ func (s *Scheduler) Schedule(now float64) *Outcome {
 		s.cacheGen = s.structGen
 		s.stats.FullRounds++
 	}
+
+	// Ask the policy for this round's iteration order and admissions.
+	// The stable fast path skips the per-application policy calls
+	// entirely: order is connection order and everything is admitted,
+	// keeping the round byte-identical to the pre-policy scheduler.
+	apps := s.apps
+	if dynamic {
+		info := RoundInfo{Now: now, Clusters: s.clusters}
+		ordered := s.schedPolicy.Order(info, s.apps, s.orderBuf[:0])
+		if len(ordered) != len(s.apps) {
+			panic(fmt.Sprintf("core: policy %q returned %d apps, want %d",
+				s.schedPolicy.Name(), len(ordered), len(s.apps)))
+		}
+		// Keep the policy's grown ordering buffer for the next round —
+		// unless the policy returned the apps slice itself, which must
+		// not become the next round's scratch.
+		if len(ordered) > 0 && &ordered[0] != &s.apps[0] {
+			s.orderBuf = ordered[:0]
+		}
+		for _, a := range ordered {
+			a.admitted = s.schedPolicy.Admit(info, a)
+		}
+		apps = ordered
+	}
+	s.roundApps = apps
+	s.roundDynamic = dynamic
 
 	// Refresh the request-state artifacts of dirty applications (lines 3–5
 	// worth of per-app folds) and rebuild the base availability folds for
@@ -363,8 +444,25 @@ func (s *Scheduler) Schedule(now float64) *Outcome {
 	// request-less there, and this keeps the round cost proportional to the
 	// applications the shard actually schedules.
 	var idleViewNP view.View
-	for _, a := range s.apps {
+	for _, a := range apps {
 		c := &a.cache
+		if dynamic && !a.admitted {
+			// Not admitted this round: pending work stays unscheduled,
+			// started/fixed allocations keep counting (they are already
+			// folded into the base availability), and the application is
+			// shown its own pre-allocated space plus the free space.
+			s.stats.CBFRecomputed++
+			unschedulePending(a.PA)
+			unschedulePending(a.NP)
+			vNPFree := vNP.ClampMin(0)
+			viewNP := a.startedPA.Add(vNPFree)
+			if s.clip != nil {
+				viewNP = viewNP.Clip(s.clip)
+			}
+			out.NonPreemptViews[a.ID] = viewNP.ClampMin(0)
+			c.cbfOK = false
+			continue
+		}
 		if chain && c.cbfOK {
 			s.stats.CBFReused++
 			if !outSeeded {
@@ -488,7 +586,7 @@ func (s *Scheduler) Schedule(now float64) *Outcome {
 	s.outOK = true
 
 	// Collect requests whose start time has arrived (lines 13–14).
-	for _, a := range s.apps {
+	for _, a := range apps {
 		appendToStart(&out.ToStart, a.PA.All(), now)
 		appendToStart(&out.ToStart, a.NP.All(), now)
 		appendToStart(&out.ToStart, a.P.All(), now)

@@ -7,12 +7,14 @@ import (
 	"coormv2/internal/apps"
 	"coormv2/internal/chaos"
 	"coormv2/internal/clock"
+	"coormv2/internal/core"
 	"coormv2/internal/federation"
 	"coormv2/internal/metrics"
 	"coormv2/internal/obs"
 	"coormv2/internal/request"
 	"coormv2/internal/rms"
 	"coormv2/internal/sim"
+	"coormv2/internal/tenants"
 	"coormv2/internal/view"
 	"coormv2/internal/workload"
 )
@@ -77,6 +79,17 @@ type ChaosReplayConfig struct {
 	// results (cache invalidation across crash, restart and migration is
 	// exactly what it pins down).
 	FullRecompute bool
+	// Tenants, when non-nil, switches every shard from connection-order
+	// FIFO to the DRF queue-hierarchy policy over this (sealed) tree — one
+	// policy instance per shard, shared tree, so a queue's per-cluster
+	// guarantees follow its clusters through migration — and tags each
+	// rigid job's session with TenantOf(job index). Scavenging PSAs stay
+	// untagged and land in the default queue, which makes them the natural
+	// quota-preemption victims when a guaranteed queue is starved.
+	Tenants *tenants.Tree
+	// TenantOf assigns rigid job i its tenant queue label. Only consulted
+	// when Tenants is non-nil; nil files every job in the default queue.
+	TenantOf func(job int) string
 }
 
 // ChaosReplayResult aggregates one chaos replay. Every field is a pure
@@ -153,6 +166,11 @@ type ChaosReplayResult struct {
 	// Trace is the injector's fault trace: one line per executed
 	// crash/restart, in execution order.
 	Trace []string
+
+	// TenantPreempts is the end-of-run per-tenant quota-preemption tally
+	// summed over running shards (nil unless ChaosReplayConfig.Tenants was
+	// set). Like every other field it is a pure function of the seed.
+	TenantPreempts map[string]int64
 
 	// Snapshot is the end-of-run observability snapshot (nil unless
 	// ChaosReplayConfig.Obs was set).
@@ -272,6 +290,10 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 	clientRec := metrics.NewRecorder()
 	fedRec := metrics.NewRecorder()
 	recs := []*metrics.Recorder{clientRec, fedRec}
+	var scheduling func(int) core.SchedulingPolicy
+	if cfg.Tenants != nil {
+		scheduling = func(int) core.SchedulingPolicy { return tenants.NewDRF(cfg.Tenants) }
+	}
 	fed := federation.New(federation.Config{
 		Clusters:        clusters,
 		Shards:          cfg.Shards,
@@ -280,6 +302,7 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 		Recovery:        cfg.Recovery,
 		NodeRecovery:    cfg.NodeRecovery,
 		FullRecompute:   cfg.FullRecompute,
+		Scheduling:      scheduling,
 		Metrics: func(int) *metrics.Recorder {
 			r := metrics.NewRecorder()
 			recs = append(recs, r)
@@ -405,10 +428,14 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 			r := apps.NewRigid(clk, federatedCluster(cluster), n, j.Runtime)
 			w := &chaosRigid{Rigid: r}
 			w.settle = settleJob(w, j.Submit)
+			var copts []rms.ConnectOption
+			if cfg.Tenants != nil && cfg.TenantOf != nil {
+				copts = append(copts, rms.WithTenant(cfg.TenantOf(i)))
+			}
 			// Completion settles on the forwarded OnRequestFinished event,
 			// not the app's own end timer — the server-side finish is the
 			// only signal that survives crash/requeue re-runs correctly.
-			sess := fed.Connect(w)
+			sess := fed.Connect(w, copts...)
 			r.Attach(sess)
 			if err := r.Submit(); err != nil {
 				// KillOnCrash: the target shard is down; the submission is
@@ -494,6 +521,9 @@ func RunChaosReplay(cfg ChaosReplayConfig) (*ChaosReplayResult, error) {
 	res.GangsCommitted = agg.TotalCount(metrics.GangCommitted)
 	res.GangsAborted = agg.TotalCount(metrics.GangAborted)
 	res.GangsRetried = agg.TotalCount(metrics.GangRetried)
+	if cfg.Tenants != nil {
+		res.TenantPreempts = fed.TenantPreempts()
+	}
 	res.Makespan = e.Now()
 	res.Events = e.Processed()
 	res.EventHash = hash

@@ -9,6 +9,7 @@ import (
 	"coormv2/internal/federation"
 	"coormv2/internal/rms"
 	"coormv2/internal/stats"
+	"coormv2/internal/tenants"
 	"coormv2/internal/workload"
 )
 
@@ -149,6 +150,83 @@ func TestChaosRebalanceMatrix(t *testing.T) {
 	}
 	if migrations == 0 {
 		t.Fatal("no matrix entry migrated a cluster; the chaos×migration interleaving is untested")
+	}
+}
+
+// TestChaosRebalanceMatrixDRF re-runs the chaos×migration matrix with the
+// DRF queue hierarchy active: every shard orders applications by dominant
+// share over a shared two-queue tree (prod guaranteed half of every
+// cluster, batch best-effort), a third of the rigid trace is tagged prod
+// and the scavenging PSAs ride untagged in the default queue — the natural
+// quota-preemption victims. Crashes, restarts and live migrations
+// interleave with the policy running; the federation invariant checker
+// (which now also pins tenant-label agreement across shards) runs after
+// every fault and migration, per-queue preemption attribution must resolve
+// to known queues, and same-seed runs must stay byte-identical — the
+// policy's ordering, admission and victim selection are all deterministic.
+func TestChaosRebalanceMatrixDRF(t *testing.T) {
+	tree := tenants.NewTree()
+	guarantee := tenants.Resources{}
+	for i := 0; i < 6; i++ { // 3 shards × 2 clusters in rebalanceTestConfig
+		guarantee[federatedCluster(i)] = 8
+	}
+	tree.MustAdd("prod", guarantee, nil)
+	tree.MustAdd("batch", nil, nil)
+
+	preempts := int64(0)
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			mk := func() ChaosReplayConfig {
+				cfg := rebalanceTestConfig(seed, true)
+				cfg.Recovery = federation.RequeueOnCrash
+				cfg.Chaos = chaos.Config{
+					Seed:             seed,
+					MTTF:             900,
+					MeanRestartDelay: 90,
+					Horizon:          2500,
+				}
+				cfg.Tenants = tree
+				cfg.TenantOf = func(job int) string {
+					if job%3 == 0 {
+						return "prod"
+					}
+					return "batch"
+				}
+				return cfg
+			}
+			res, err := RunChaosReplay(mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Crashes == 0 {
+				t.Fatal("plan produced no crashes; matrix entry is vacuous")
+			}
+			if total := res.Completed + res.Killed + res.Rejected; total != 60 {
+				t.Fatalf("jobs unaccounted for under DRF: %d completed + %d killed + %d rejected != 60",
+					res.Completed, res.Killed, res.Rejected)
+			}
+			// Per-queue check: every preemption is attributed to a queue the
+			// tree actually resolves (untagged PSAs file under "default").
+			for q, n := range res.TenantPreempts {
+				if tree.Resolve(q) == nil {
+					t.Errorf("preemption tally names unknown queue %q", q)
+				}
+				if n < 0 {
+					t.Errorf("negative preemption count %d for queue %q", n, q)
+				}
+				preempts += n
+			}
+			again, err := RunChaosReplay(mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res, again) {
+				t.Fatalf("same seed diverged under chaos×migration with DRF:\nrun1: %+v\nrun2: %+v", res, again)
+			}
+		})
+	}
+	if preempts == 0 {
+		t.Fatal("no matrix entry preempted for quota; the DRF×chaos interleaving is untested")
 	}
 }
 

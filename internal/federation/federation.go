@@ -127,6 +127,15 @@ type Config struct {
 	// round recomputes from scratch). The chaos×migration differential test
 	// pins the two modes byte-identical; production leaves it off.
 	FullRecompute bool
+	// Scheduling, when non-nil, is called once per shard (in shard order,
+	// during New) to create that shard's application-ordering policy;
+	// returning nil leaves the shard on connection-order FIFO. Shards must
+	// not share a policy instance — each carries per-round scratch state —
+	// but may (and for tenant quotas should) share one sealed tenants.Tree,
+	// so a queue's per-cluster guarantees follow its clusters through
+	// migration. The policy survives crash/restart: Reset re-installs it on
+	// the fresh scheduler.
+	Scheduling func(shard int) core.SchedulingPolicy
 	// Obs, when non-nil, is threaded through every shard (labelled
 	// "shard<i>") and additionally records federation-level signals: merge
 	// latency, migration pauses, shard outage durations, and crash/restart
@@ -285,6 +294,10 @@ func New(cfg Config) *Federator {
 		if cfg.Metrics != nil {
 			rec = cfg.Metrics(i)
 		}
+		var sched core.SchedulingPolicy
+		if cfg.Scheduling != nil {
+			sched = cfg.Scheduling(i)
+		}
 		f.shards[i] = rms.NewServer(rms.Config{
 			Clusters:        part,
 			ReschedInterval: cfg.ReschedInterval,
@@ -295,6 +308,7 @@ func New(cfg Config) *Federator {
 			Metrics:         rec,
 			NodeRecovery:    cfg.NodeRecovery,
 			FullRecompute:   cfg.FullRecompute,
+			Scheduling:      sched,
 			Obs:             cfg.Obs,
 			ObsLabel:        fmt.Sprintf("shard%d", i),
 		})
@@ -342,15 +356,66 @@ func (f *Federator) Owner(cid view.ClusterID) (int, bool) {
 // Now returns the federation's current time.
 func (f *Federator) Now() float64 { return f.clk.Now() }
 
+// TenantLoads aggregates the node IDs held per tenant label per cluster
+// across every running shard (see rms.Server.TenantLoads). Down shards
+// contribute nothing: a crash loses the scheduler-side allocations the
+// shard would report, exactly as the merged views do.
+func (f *Federator) TenantLoads() map[string]map[view.ClusterID]int {
+	f.mu.Lock()
+	down := append([]bool(nil), f.down...)
+	f.mu.Unlock()
+	out := make(map[string]map[view.ClusterID]int)
+	for i, sh := range f.shards {
+		if down[i] {
+			continue
+		}
+		for tenant, loads := range sh.TenantLoads() {
+			m := out[tenant]
+			if m == nil {
+				m = make(map[view.ClusterID]int)
+				out[tenant] = m
+			}
+			for cid, n := range loads {
+				m[cid] += n
+			}
+		}
+	}
+	return out
+}
+
+// TenantPreempts sums the per-tenant quota-preemption revocation counts
+// across running shards. Each shard's tally is cumulative over its own
+// lifetime — a crash resets it with the rest of the scheduler state —
+// matching how every other shard-side counter behaves across faults.
+func (f *Federator) TenantPreempts() map[string]int64 {
+	f.mu.Lock()
+	down := append([]bool(nil), f.down...)
+	f.mu.Unlock()
+	out := make(map[string]int64)
+	for i, sh := range f.shards {
+		if down[i] {
+			continue
+		}
+		for tenant, n := range sh.TenantPreempts() {
+			out[tenant] += n
+		}
+	}
+	return out
+}
+
 // Connect registers an application with every running shard under one
 // federated application ID and returns the federated session. Connecting to
 // all shards eagerly gives the application the same full-cluster-set views a
 // single RMS would push, merged by the session's handler fan-in. Crashed
 // shards are skipped; the session is re-admitted to them when they restart.
-func (f *Federator) Connect(h rms.AppHandler) *Session {
+// Connect options (e.g. rms.WithTenant) are applied on every shard and
+// replayed on each re-admission, so tenant identity survives shard
+// crash/restart and follows the session everywhere it is scheduled.
+func (f *Federator) Connect(h rms.AppHandler, opts ...rms.ConnectOption) *Session {
 	sess := &Session{
 		f:          f,
 		h:          h,
+		connect:    opts,
 		subs:       make([]*rms.Session, len(f.shards)),
 		shardDown:  make([]bool, len(f.shards)),
 		shardViews: make([][2]view.View, len(f.shards)),
@@ -676,6 +741,30 @@ func (f *Federator) CheckInvariants() error {
 		for _, sess := range sessions {
 			if !admitted[sess.id] {
 				return fmt.Errorf("federation: live session %d not admitted to running shard %d", sess.id, i)
+			}
+		}
+	}
+	// Tenant identity is federation-wide: every running shard must report
+	// the same tenant label for a session (admitShard replays the connect
+	// options, so a restart re-admission can neither drop nor change it).
+	for _, sess := range sessions {
+		label, have := "", false
+		labelShard := -1
+		for i, sh := range f.shards {
+			if down[i] {
+				continue
+			}
+			got, ok := sh.TenantOf(sess.id)
+			if !ok {
+				continue // missing admissions are reported above
+			}
+			if !have {
+				label, have, labelShard = got, true, i
+				continue
+			}
+			if got != label {
+				return fmt.Errorf("federation: session %d tenant %q on shard %d but %q on shard %d",
+					sess.id, got, i, label, labelShard)
 			}
 		}
 	}

@@ -64,6 +64,11 @@ type Session struct {
 	f  *Federator
 	h  rms.AppHandler
 	id int
+	// connect holds the rms connect options (e.g. rms.WithTenant) the
+	// application connected with. Immutable after Connect; admitShard
+	// replays them on every admission, so a crash/restart re-admission
+	// reconstructs the same tenant identity on the fresh shard.
+	connect []rms.ConnectOption
 
 	// admitMu serializes shard admission (Connect's initial fan-out vs a
 	// racing RestartShard re-admission) so the same session cannot be
@@ -535,7 +540,7 @@ func (s *Session) admitShard(i int) bool {
 	s.mu.Unlock()
 	// ConnectID outside sess.mu: it flushes notifications, which
 	// synchronously re-enter the session through the shardHandler.
-	sub, err := s.f.shards[i].ConnectID(&shardHandler{sess: s, shard: i}, s.id)
+	sub, err := s.f.shards[i].ConnectID(&shardHandler{sess: s, shard: i}, s.id, s.connect...)
 	if err != nil {
 		if errors.Is(err, rms.ErrStopped) {
 			return false // crashed (again) before the connect landed

@@ -1,0 +1,102 @@
+package federation
+
+import (
+	"math"
+	"testing"
+
+	"coormv2/internal/clock"
+	"coormv2/internal/core"
+	"coormv2/internal/request"
+	"coormv2/internal/rms"
+	"coormv2/internal/sim"
+	"coormv2/internal/tenants"
+	"coormv2/internal/view"
+)
+
+// TestTenantIdentitySurvivesRestart drives the DRF queue hierarchy through
+// the federation: per-shard policy instances share one sealed tree, quota
+// preemption recovers a guaranteed tenant's share on the shard owning its
+// cluster, and crash/restart re-admission reconstructs tenant identity
+// (admitShard replays the connect options on the fresh shard).
+func TestTenantIdentitySurvivesRestart(t *testing.T) {
+	tree := tenants.NewTree()
+	tree.MustAdd("prod", tenants.Resources{cA: 6}, nil)
+	tree.MustAdd("batch", nil, nil)
+
+	e := sim.NewEngine()
+	f := New(Config{
+		Clusters:        map[view.ClusterID]int{cA: 8, cB: 8},
+		Shards:          2,
+		ReschedInterval: 1,
+		Clock:           clock.SimClock{E: e},
+		Recovery:        RequeueOnCrash,
+		Scheduling: func(shard int) core.SchedulingPolicy {
+			return tenants.NewDRF(tree)
+		},
+	})
+
+	batch := &testApp{}
+	batchSess := f.Connect(batch, rms.WithTenant("batch"))
+	if _, err := batchSess.Request(rms.RequestSpec{
+		Cluster: cA, N: 8, Duration: math.Inf(1), Type: request.Preempt,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.RunAll()
+	if loads := f.TenantLoads(); loads["batch"][cA] != 8 {
+		t.Fatalf("batch holds %d on %s, want the full 8 before prod arrives", loads["batch"][cA], cA)
+	}
+
+	prod := &testApp{}
+	prodSess := f.Connect(prod, rms.WithTenant("prod"))
+	if _, err := prodSess.Request(rms.RequestSpec{
+		Cluster: cA, N: 6, Duration: math.Inf(1), Type: request.NonPreempt,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.RunAll()
+
+	// Quota preemption fired on the shard owning alpha and the federation
+	// surfaces both sides of it: prod physically holds its guarantee, the
+	// revocations are attributed to batch.
+	if loads := f.TenantLoads(); loads["prod"][cA] < 6 {
+		t.Fatalf("prod holds %d on %s, want ≥ its guarantee of 6 (loads: %v)", loads["prod"][cA], cA, loads)
+	}
+	if f.TenantPreempts()["batch"] == 0 {
+		t.Fatal("no quota preemption attributed to batch")
+	}
+	if batch.killed != "" {
+		t.Fatalf("batch session killed (%q); quota preemption revokes requests, not sessions", batch.killed)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after preemption: %v", err)
+	}
+
+	// Crash and restart the shard owning alpha: scheduler state is lost,
+	// the sessions are re-admitted with their original connect options, and
+	// the replayed non-preemptible request starts again under the same
+	// guarantee — the policy instance was re-installed by Reset.
+	shard, ok := f.Owner(cA)
+	if !ok {
+		t.Fatalf("no owner for %s", cA)
+	}
+	f.CrashShard(shard)
+	f.RestartShard(shard)
+	e.RunAll()
+
+	for _, sess := range []struct {
+		id   int
+		want string
+	}{{batchSess.AppID(), "batch"}, {prodSess.AppID(), "prod"}} {
+		if got, ok := f.Shard(shard).TenantOf(sess.id); !ok || got != sess.want {
+			t.Fatalf("after restart, shard %d reports tenant %q,%v for app %d, want %q",
+				shard, got, ok, sess.id, sess.want)
+		}
+	}
+	if loads := f.TenantLoads(); loads["prod"][cA] < 6 {
+		t.Fatalf("prod holds %d on %s after restart, want ≥ 6 (loads: %v)", loads["prod"][cA], cA, loads)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after restart: %v", err)
+	}
+}

@@ -99,6 +99,11 @@ const (
 	GangCommitted
 	GangAborted
 	GangRetried
+	// PreemptedRequests counts started preemptible requests revoked by
+	// quota preemption: a scheduling policy (internal/tenants DRF)
+	// nominated them to relieve a starved guaranteed queue, and the RMS
+	// terminated them and reclaimed their nodes.
+	PreemptedRequests
 
 	numCounters
 )
@@ -140,6 +145,8 @@ func (c Counter) String() string {
 		return "gang-aborted"
 	case GangRetried:
 		return "gang-retried"
+	case PreemptedRequests:
+		return "preempted-requests"
 	default:
 		return fmt.Sprintf("Counter(%d)", uint8(c))
 	}

@@ -16,6 +16,7 @@ const (
 	EvNodeRecover = "node_recover" // machine repairs in a cluster (Value = node count)
 	EvGangCommit  = "gang_commit"  // cross-shard reservation committed (Value = hold→commit seconds)
 	EvGangAbort   = "gang_abort"   // cross-shard reservation dropped (Value = hold→abort seconds)
+	EvPreempt     = "preempt"      // quota preemption revoked an allocation (Value = nodes granted)
 )
 
 // Event is one structured trace entry: typed, timestamped on the

@@ -104,6 +104,19 @@ type Config struct {
 	// (e.g. "shard0") so federated shards share one registry without
 	// colliding. Empty for a standalone RMS.
 	ObsLabel string
+	// Scheduling installs an application ordering/admission policy on the
+	// scheduler (nil keeps the default connection-order FIFO, whose rounds
+	// are byte-identical to the pre-policy scheduler). When the policy
+	// also implements core.VictimNominator — internal/tenants' DRF does —
+	// the server enforces quota preemption after every round: nominated
+	// started preemptible allocations are terminated and their nodes
+	// reclaimed for the starved queue.
+	Scheduling core.SchedulingPolicy
+	// PoolDebugPanics turns node-ID pool accounting violations into
+	// panics at construction (fail-stop debugging). The underlying switch
+	// is process-global — it stays on for every pool once some server set
+	// it — which is acceptable for its debug-only purpose.
+	PoolDebugPanics bool
 }
 
 // Server is a CooRMv2 RMS instance.
@@ -167,11 +180,25 @@ type Server struct {
 	// artifact counter into a per-round dirty count.
 	obs               *obs.Registry
 	obsLabel          string
+	obsPrefix         string
 	hRound            *obs.Histogram
 	hDirty            *obs.Histogram
 	hWait             *obs.Histogram
 	hReap             *obs.Histogram
 	obsPrevRecomputed int64
+
+	// hTenantWait lazily holds per-tenant admit→start wait histograms
+	// ("<prefix>tenant.<label>.wait_seconds"), populated only when a
+	// scheduling policy is configured — the default FIFO path never
+	// touches the map.
+	hTenantWait map[string]*obs.Histogram
+
+	// Quota preemption (Config.Scheduling implementing
+	// core.VictimNominator): the cached nominator, the reusable victim
+	// buffer, and the cumulative revocation count per tenant label.
+	victims        core.VictimNominator
+	victimBuf      []*request.Request
+	tenantPreempts map[string]int64
 
 	// gcCollect is the persistent reap callback for gcRequestsLocked with
 	// its per-call state (gcNow/gcObserve/gcReaped scratch): allocating a
@@ -197,7 +224,10 @@ func NewServer(cfg Config) *Server {
 	if cfg.GracePeriod <= 0 {
 		cfg.GracePeriod = 5 * cfg.ReschedInterval
 	}
-	s := &Server{cfg: cfg, clk: cfg.Clock}
+	if cfg.PoolDebugPanics {
+		SetPoolDebugPanics(true)
+	}
+	s := &Server{cfg: cfg, clk: cfg.Clock, tenantPreempts: make(map[string]int64)}
 	s.initObs()
 	s.initStateLocked()
 	return s
@@ -217,6 +247,7 @@ func (s *Server) initObs() {
 	if s.obsLabel != "" {
 		prefix = s.obsLabel + "."
 	}
+	s.obsPrefix = prefix
 	s.hRound = s.obs.Hist(prefix + "rms.round_seconds")
 	s.hDirty = s.obs.Hist(prefix + "rms.round_dirty_artifacts")
 	s.hWait = s.obs.Hist(prefix + "rms.wait_seconds")
@@ -224,6 +255,31 @@ func (s *Server) initObs() {
 	s.obs.RegisterCounters(prefix+"sched", func() map[string]int64 {
 		return s.SchedStats().Map()
 	})
+	if s.cfg.Scheduling != nil {
+		s.obs.RegisterCounters(prefix+"tenants", func() map[string]int64 {
+			snap := s.TenantPreempts()
+			out := make(map[string]int64, len(snap))
+			for label, n := range snap {
+				out["preempted."+label] = n
+			}
+			return out
+		})
+	}
+}
+
+// tenantWaitHistLocked returns (creating on first use) the per-tenant
+// admit→start wait histogram for a tenant label. Callers guarantee
+// s.obs != nil.
+func (s *Server) tenantWaitHistLocked(key string) *obs.Histogram {
+	h := s.hTenantWait[key]
+	if h == nil {
+		if s.hTenantWait == nil {
+			s.hTenantWait = make(map[string]*obs.Histogram)
+		}
+		h = s.obs.Hist(s.obsPrefix + "tenant." + key + ".wait_seconds")
+		s.hTenantWait[key] = h
+	}
+	return h
 }
 
 // initStateLocked (re)builds the server's mutable scheduling state from the
@@ -237,6 +293,10 @@ func (s *Server) initStateLocked() {
 	if s.cfg.Clip != nil {
 		s.sched.SetClip(s.cfg.Clip)
 	}
+	if s.cfg.Scheduling != nil {
+		s.sched.SetSchedulingPolicy(s.cfg.Scheduling)
+	}
+	s.victims, _ = s.cfg.Scheduling.(core.VictimNominator)
 	s.sessions = make(map[int]*Session)
 	s.idsOK = false
 	s.lastViews = make(map[int][2]view.View)
@@ -268,14 +328,19 @@ func (sess *Session) AppID() int { return sess.app.ID }
 // Connect registers an application and returns its session. The first view
 // push happens on the next scheduling round. Connect panics on a stopped
 // server; routing layers use ConnectID, which reports the condition as an
-// error instead.
-func (s *Server) Connect(h AppHandler) *Session {
+// error instead. Options tag the session — WithTenant assigns it a
+// tenant queue.
+func (s *Server) Connect(h AppHandler, opts ...ConnectOption) *Session {
+	var o connectOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
 	s.mu.Lock()
 	if s.stopped {
 		s.mu.Unlock()
 		panic("rms: Connect on a stopped server")
 	}
-	sess := s.connectLocked(h, s.nextApp)
+	sess := s.connectLocked(h, s.nextApp, o)
 	s.mu.Unlock()
 	s.flush()
 	return sess
@@ -286,9 +351,13 @@ func (s *Server) Connect(h AppHandler) *Session {
 // assigns globally unique application IDs and every shard registers the
 // session under the same ID (so per-shard metrics aggregate by ID). It
 // errors if the ID is non-positive or already connected.
-func (s *Server) ConnectID(h AppHandler, id int) (*Session, error) {
+func (s *Server) ConnectID(h AppHandler, id int, opts ...ConnectOption) (*Session, error) {
 	if id <= 0 {
 		return nil, fmt.Errorf("rms: application ID %d must be positive", id)
+	}
+	var o connectOpts
+	for _, opt := range opts {
+		opt(&o)
 	}
 	s.mu.Lock()
 	if s.stopped {
@@ -299,7 +368,7 @@ func (s *Server) ConnectID(h AppHandler, id int) (*Session, error) {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("rms: application ID %d already connected", id)
 	}
-	sess := s.connectLocked(h, id)
+	sess := s.connectLocked(h, id, o)
 	s.mu.Unlock()
 	s.flush()
 	return sess, nil
@@ -307,11 +376,12 @@ func (s *Server) ConnectID(h AppHandler, id int) (*Session, error) {
 
 // connectLocked registers a session under id and keeps the auto-assigned
 // sequence ahead of every externally chosen ID.
-func (s *Server) connectLocked(h AppHandler, id int) *Session {
+func (s *Server) connectLocked(h AppHandler, id int, o connectOpts) *Session {
 	if id >= s.nextApp {
 		s.nextApp = id + 1
 	}
 	app := s.sched.AddApp(id, s.clk.Now())
+	app.Tenant = o.tenant
 	sess := &Session{s: s, app: app, h: h}
 	s.sessions[id] = sess
 	s.idsOK = false
@@ -867,6 +937,11 @@ func (s *Server) recordStartLocked(r *request.Request, now float64) {
 		wait = 0
 	}
 	s.hWait.Record(wait)
+	if s.cfg.Scheduling != nil {
+		if sess := s.sessions[r.AppID]; sess != nil {
+			s.tenantWaitHistLocked(tenantKey(sess.app.Tenant)).Record(wait)
+		}
+	}
 	s.obs.Event(obs.Event{Time: now, Type: obs.EvStart, Shard: s.obsLabel,
 		App: r.AppID, Cluster: string(r.Cluster), Request: int(r.ID), Value: wait})
 }
@@ -892,6 +967,13 @@ func (s *Server) runLocked() {
 
 	outcome := s.sched.Schedule(now)
 	s.startRequestsLocked(outcome, now)
+
+	// Quota preemption: revoke the policy's victims before recomputing
+	// views, so the freed capacity is visible this round; the follow-up
+	// round fits the relieved demand into it.
+	if s.enforceQuotaLocked(now) {
+		s.requestRunLocked()
+	}
 
 	// Starting requests changes availability; recompute views so
 	// applications always see post-start state.
