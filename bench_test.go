@@ -29,6 +29,7 @@ import (
 	"coormv2/internal/sim"
 	"coormv2/internal/stats"
 	"coormv2/internal/tenants"
+	"coormv2/internal/transport"
 	"coormv2/internal/view"
 	"coormv2/internal/workload"
 )
@@ -816,3 +817,70 @@ func BenchmarkFullScaleDynamicScenario(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTransportThroughput measures synchronous request+done round
+// trips over a real TCP connection, with the resilience machinery off
+// (plain Dial: the pre-resilience wire) and on (heartbeats, idempotency
+// tokens, reconnect bookkeeping). The two must stay within the bench-diff
+// gate of each other: steady-state resilience overhead is bounded.
+func BenchmarkTransportThroughput(b *testing.B) {
+	if testing.Short() {
+		b.Skip("real-clock TCP benchmark; skipped under -short")
+	}
+	run := func(b *testing.B, opts transport.Options) {
+		r := rms.NewServer(rms.Config{
+			Clusters:        map[view.ClusterID]int{"bench": 4096},
+			ReschedInterval: 3600, // keep rounds out of the hot path
+			Clock:           clock.NewRealClock(),
+		})
+		srv := transport.NewServer(r)
+		srv.Logf = func(string, ...any) {}
+		srv.Grace = 5 * time.Second
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.Serve()
+		defer srv.Close()
+
+		app := &benchTransportApp{}
+		c, err := transport.DialOptions(addr, app, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id, err := c.Request(rms.RequestSpec{
+				Cluster: "bench", N: 1, Duration: 3600, Type: request.NonPreempt,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := c.Done(id, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+	}
+	b.Run("hb=off", func(b *testing.B) {
+		run(b, transport.Options{})
+	})
+	b.Run("hb=on", func(b *testing.B) {
+		run(b, transport.Options{
+			Reconnect:         true,
+			HeartbeatInterval: 50 * time.Millisecond,
+			CallTimeout:       30 * time.Second,
+			Seed:              1,
+		})
+	})
+}
+
+// benchTransportApp discards notifications as fast as they arrive.
+type benchTransportApp struct{}
+
+func (benchTransportApp) OnViews(np, p view.View)            {}
+func (benchTransportApp) OnStart(id request.ID, nodes []int) {}
+func (benchTransportApp) OnKill(reason string)               {}

@@ -14,12 +14,14 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"coormv2/internal/amr"
 	"coormv2/internal/apps"
 	"coormv2/internal/chaos"
 	"coormv2/internal/experiments"
 	"coormv2/internal/federation"
+	"coormv2/internal/netchaos"
 	"coormv2/internal/obs"
 	"coormv2/internal/rms"
 	"coormv2/internal/stats"
@@ -28,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig9|fig10|fig11|ablation|accounting|replay|federated|chaos|nodechaos|rebalance|gang|tenants|all")
+		exp    = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig9|fig10|fig11|ablation|accounting|replay|federated|chaos|nodechaos|netchaos|rebalance|gang|tenants|all")
 		seed   = flag.Int64("seed", 1, "base random seed")
 		full   = flag.Bool("full", false, "paper scale (1000 steps, 3.16 TiB) instead of the fast reduced scale")
 		steps  = flag.Int("steps", 0, "override profile length (0 = scale default)")
@@ -124,6 +126,12 @@ func main() {
 		matched = true
 		run("Node chaos — machine failures under kill/requeue/cooperative recovery", func() error {
 			return emit(nodeChaosExp(*seed, sc))
+		})
+	}
+	if all || *exp == "netchaos" {
+		matched = true
+		run("Net chaos — wire faults vs reconnect+resume and kill-and-replay (real TCP)", func() error {
+			return emit(netChaosExp(*seed, sc))
 		})
 	}
 	if all || *exp == "gang" {
@@ -415,6 +423,9 @@ type scenarioOpts struct {
 	gangFrac         float64
 	tenants          int
 	tenantHotFrac    float64
+	netJobs          int
+	netFaultGap      float64
+	netHorizon       float64
 }
 
 // registerScenarioFlags declares the shared scenario flags on the default
@@ -433,6 +444,9 @@ func registerScenarioFlags() *scenarioOpts {
 	flag.Float64Var(&sc.gangFrac, "gang-frac", 0.5, "gang: fraction of jobs given a cross-shard companion leg")
 	flag.IntVar(&sc.tenants, "tenants", 3, "tenants: tenant-queue count (t0 guaranteed, t1 hot)")
 	flag.Float64Var(&sc.tenantHotFrac, "tenant-hot-frac", 0.5, "tenants: fraction of the trace submitted by the hot best-effort tenant")
+	flag.IntVar(&sc.netJobs, "net-jobs", 6, "netchaos: sequential jobs driven over the faulty wire")
+	flag.Float64Var(&sc.netFaultGap, "net-fault-gap", 0.15, "netchaos: mean wall-clock seconds between wire faults")
+	flag.Float64Var(&sc.netHorizon, "net-horizon", 1.2, "netchaos: wall-clock fault-schedule horizon in seconds")
 	return sc
 }
 
@@ -626,6 +640,65 @@ func nodeChaosExp(seed int64, sc *scenarioOpts) (*experiments.Report, error) {
 				f(res.LostWork, 0), strconv.Itoa(res.Resubmits),
 				f(res.MeanWait, 1), f(100*res.UsedFraction, 2),
 				fmt.Sprintf("%016x", res.EventHash),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// netChaosExp measures the transport's wire-level resilience on real TCP
+// connections: a sequential job stream runs through a netchaos proxy that
+// severs, partitions, half-opens, and delays the wire on a seeded
+// schedule, once with reconnect+resume (grace window, idempotent retries)
+// and once with the kill-and-replay baseline (a dropped connection kills
+// the session; the driver re-dials and resubmits). The trace-hash column
+// pins the schedule's determinism: same seed ⇒ same faults for both modes.
+// This experiment runs on the wall clock — rows measure the actual
+// transport, so timing columns vary run to run; the invariant columns
+// (lost acks, duplicate starts) must not.
+func netChaosExp(seed int64, sc *scenarioOpts) (*experiments.Report, error) {
+	faults := func(s int64) netchaos.Config {
+		return netchaos.Config{
+			Seed:        s,
+			MeanBetween: sc.netFaultGap,
+			MeanDur:     sc.netFaultGap / 4,
+			Horizon:     sc.netHorizon,
+			MaxFaults:   8,
+		}
+	}
+	rep := &experiments.Report{
+		Name: "netchaos",
+		Notes: []string{fmt.Sprintf("wire faults over real TCP: %d jobs, mean fault gap %.3gs, horizon %.3gs; resume grace 10s",
+			sc.netJobs, sc.netFaultGap, sc.netHorizon)},
+		Header: []string{"mode", "seed", "done", "reconnects", "resubmits",
+			"lost-acks", "dup-starts", "recover-p50-ms", "recover-p99-ms",
+			"elapsed-s", "trace-hash"},
+	}
+	for _, resume := range []bool{true, false} {
+		mode := "resume"
+		if !resume {
+			mode = "kill-replay"
+		}
+		for s := seed; s < seed+2; s++ {
+			res, err := experiments.RunNetChaos(experiments.NetChaosConfig{
+				Seed: s, Jobs: sc.netJobs, Resume: resume,
+				Faults: faults(s),
+				Grace:  10 * time.Second,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if rep.Obs == nil {
+				rep.Obs = res.Snapshot
+			}
+			rep.Rows = append(rep.Rows, []string{
+				mode, strconv.FormatInt(s, 10),
+				strconv.Itoa(res.Completed), strconv.Itoa(res.Reconnects),
+				strconv.Itoa(res.Resubmits), strconv.Itoa(res.LostAcks),
+				strconv.Itoa(res.DupStarts),
+				f(res.RecoverP50*1000, 2), f(res.RecoverP99*1000, 2),
+				f(res.Elapsed, 2),
+				fmt.Sprintf("%016x", res.TraceHash),
 			})
 		}
 	}

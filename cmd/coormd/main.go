@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"coormv2/internal/clock"
 	"coormv2/internal/core"
@@ -70,6 +71,9 @@ func main() {
 		shards   = flag.Int("shards", 1, "scheduler shards; >1 federates the cluster set across independent schedulers")
 		workers  = flag.Int("workers", 0, "admission limit: max concurrently served application sessions; further connections wait unserved until one ends (0 = unlimited)")
 		pprofOn  = flag.String("pprof", "", "side listener for net/http/pprof (e.g. 127.0.0.1:6060; empty = off), so scheduling hot paths can be profiled against the live daemon")
+		graceWin = flag.Duration("grace-window", 15*time.Second, "how long a session whose connection dropped survives awaiting a resume (0 = tear down immediately, no resume)")
+		writeQ   = flag.Int("write-queue", 0, "per-connection outbound frame queue; a client that falls this many frames behind is evicted into the grace window (0 = default 256)")
+		maxFrame = flag.Int("max-frame", 0, "received frame size cap in bytes; oversized frames are skipped and reported as structured errors (0 = default 4 MiB)")
 	)
 	flag.Var(clusters, "cluster", "cluster as name=nodes (repeatable)")
 	flag.Parse()
@@ -164,12 +168,16 @@ func main() {
 		d = transport.NewServer(srv)
 	}
 	d.Workers = *workers
+	d.Grace = *graceWin
+	d.WriteQueue = *writeQ
+	d.MaxFrame = *maxFrame
+	d.Obs = reg
 	addr, err := d.Listen(*listen)
 	if err != nil {
 		log.Fatalf("coormd: %v", err)
 	}
-	log.Printf("coormd: serving %s on %s (policy %s, interval %gs, workers %d)",
-		topology, addr, policy, *interval, *workers)
+	log.Printf("coormd: serving %s on %s (policy %s, interval %gs, workers %d, grace window %s)",
+		topology, addr, policy, *interval, *workers, *graceWin)
 	if err := d.Serve(); err != nil {
 		log.Printf("coormd: %v", err)
 		os.Exit(1)

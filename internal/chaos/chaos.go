@@ -11,6 +11,11 @@
 // The harness follows the simulation-first consistency-testing stance: the
 // recovery path is exercised systematically across seeds and policies
 // instead of being left to rare production incidents.
+//
+// Its wire-level counterpart is internal/netchaos, which derives
+// fault plans the same way (seeded, seed-stable traces) but breaks the
+// network between real transport clients and servers instead of crashing
+// simulated shards.
 package chaos
 
 import (

@@ -1,0 +1,194 @@
+package netchaos
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestPlanDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, MeanBetween: 0.3, MeanDur: 0.2, Horizon: 10}
+	a, b := Plan(cfg), Plan(cfg)
+	if len(a) == 0 {
+		t.Fatal("empty plan")
+	}
+	if HashTrace(TraceOf(a)) != HashTrace(TraceOf(b)) {
+		t.Fatal("same seed produced different plans")
+	}
+	cfg.Seed = 43
+	if HashTrace(TraceOf(Plan(cfg))) == HashTrace(TraceOf(a)) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestPlanRespectsCaps(t *testing.T) {
+	cfg := Config{Seed: 7, MeanBetween: 0.1, MeanDur: 0.1, Horizon: 100, MaxFaults: 5}
+	plan := Plan(cfg)
+	if len(plan) != 5 {
+		t.Fatalf("MaxFaults=5, got %d faults", len(plan))
+	}
+	for _, f := range plan {
+		if f.At >= cfg.Horizon {
+			t.Fatalf("fault at %g beyond horizon", f.At)
+		}
+	}
+	if Plan(Config{}) != nil {
+		t.Fatal("zero config should produce no plan")
+	}
+}
+
+// echoServer accepts connections and echoes bytes back.
+func echoServer(t *testing.T) (addr string, closeFn func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 1024)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						c.Write(buf[:n])
+					}
+					if err != nil {
+						c.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+func roundTrip(t *testing.T, conn net.Conn) error {
+	t.Helper()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	defer conn.SetDeadline(time.Time{})
+	if _, err := conn.Write([]byte("hi")); err != nil {
+		return err
+	}
+	buf := make([]byte, 2)
+	_, err := conn.Read(buf)
+	return err
+}
+
+func TestProxyForwardsAndSevers(t *testing.T) {
+	backend, stop := echoServer(t)
+	defer stop()
+	p := NewProxy(backend)
+	addr, err := p.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := roundTrip(t, conn); err != nil {
+		t.Fatalf("round trip through proxy: %v", err)
+	}
+
+	p.Sever()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read succeeded after sever")
+	}
+	if p.Severed() == 0 {
+		t.Fatal("sever not counted")
+	}
+
+	// New connections work immediately after a sever.
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if err := roundTrip(t, conn2); err != nil {
+		t.Fatalf("round trip after sever: %v", err)
+	}
+}
+
+func TestProxyPartitionAndHalfOpen(t *testing.T) {
+	backend, stop := echoServer(t)
+	defer stop()
+	p := NewProxy(backend)
+	addr, err := p.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	p.SetPartitioned(true)
+	conn, err := net.Dial("tcp", addr)
+	if err == nil {
+		// The dial may complete before the proxy closes its side; the
+		// round trip must fail either way.
+		if rerr := roundTrip(t, conn); rerr == nil {
+			t.Fatal("round trip succeeded while partitioned")
+		}
+		conn.Close()
+	}
+	p.SetPartitioned(false)
+
+	p.SetHalfOpen(true)
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := roundTrip(t, conn2); err == nil {
+		t.Fatal("round trip succeeded while half-open")
+	}
+	conn2.Close()
+	p.SetHalfOpen(false)
+	if p.Held() == 0 {
+		t.Fatal("half-open connection not counted")
+	}
+
+	conn3, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn3.Close()
+	if err := roundTrip(t, conn3); err != nil {
+		t.Fatalf("round trip after clearing faults: %v", err)
+	}
+}
+
+func TestProxyDelay(t *testing.T) {
+	backend, stop := echoServer(t)
+	defer stop()
+	p := NewProxy(backend)
+	addr, err := p.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	p.SetDelay(50 * time.Millisecond)
+	startT := time.Now()
+	if err := roundTrip(t, conn); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(startT); d < 50*time.Millisecond {
+		t.Fatalf("round trip took %v, expected >= 50ms of injected delay", d)
+	}
+	p.SetDelay(0)
+}

@@ -17,6 +17,8 @@ const (
 	EvGangCommit  = "gang_commit"  // cross-shard reservation committed (Value = hold→commit seconds)
 	EvGangAbort   = "gang_abort"   // cross-shard reservation dropped (Value = hold→abort seconds)
 	EvPreempt     = "preempt"      // quota preemption revoked an allocation (Value = nodes granted)
+	EvConnDrop    = "conn_drop"    // transport connection died with a live session
+	EvResume      = "resume"       // session resumed on a fresh connection (Value = outage seconds)
 )
 
 // Event is one structured trace entry: typed, timestamped on the

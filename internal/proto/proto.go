@@ -33,6 +33,11 @@ const (
 	MsgViews     MsgType = "views"     // fresh non-preemptive + preemptive views
 	MsgStart     MsgType = "start"     // startNotify: request started, node IDs
 	MsgKill      MsgType = "kill"      // protocol violation, session terminated
+
+	// Either direction: liveness probes. A ping carries an optional Seq
+	// that the pong echoes verbatim; neither touches session state.
+	MsgPing MsgType = "ping"
+	MsgPong MsgType = "pong"
 )
 
 // infDuration encodes math.Inf(1) on the wire (JSON has no Inf literal).
@@ -95,6 +100,28 @@ type Message struct {
 	Type MsgType `json:"type"`
 	// Seq correlates an application message with its ack/error.
 	Seq int64 `json:"seq,omitempty"`
+
+	// Idem is a client-assigned idempotency token on MsgRequest/MsgDone.
+	// The server caches the outcome of every idem-carrying call, so a
+	// client re-sending the same call after a reconnect (its ack may have
+	// died with the connection) gets the original outcome replayed instead
+	// of executing the operation twice. Zero disables deduplication.
+	Idem int64 `json:"idem,omitempty"`
+
+	// Resume carries the session-resume token: on MsgConnect a client
+	// presents the token of the session it wants to reclaim (empty for a
+	// fresh session); on MsgConnected the server issues the token the
+	// client must present when reconnecting.
+	Resume string `json:"resume,omitempty"`
+
+	// Tenant optionally tags a MsgConnect with a tenant queue path
+	// ("org/team/q"); the transport forwards it as rms.WithTenant.
+	Tenant string `json:"tenant,omitempty"`
+
+	// Replay marks a MsgViews/MsgStart re-delivered from current state
+	// after a session resume. Clients deduplicate replayed starts by
+	// request ID; non-replay frames are always fresh.
+	Replay bool `json:"replay,omitempty"`
 
 	// MsgConnected
 	AppID int `json:"app_id,omitempty"`

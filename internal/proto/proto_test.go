@@ -2,6 +2,7 @@ package proto
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"coormv2/internal/request"
@@ -122,5 +123,58 @@ func TestMessageJSONStable(t *testing.T) {
 	}
 	if back.Type != MsgStart || back.ReqID != 3 || len(back.NodeIDs) != 2 {
 		t.Errorf("round trip = %+v", back)
+	}
+}
+
+func TestResilienceFieldsRoundTrip(t *testing.T) {
+	m := Message{
+		Type:   MsgConnect,
+		Idem:   42,
+		Resume: "deadbeef",
+		Tenant: "org/team/q",
+		Replay: true,
+	}
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Idem != 42 || got.Resume != "deadbeef" || got.Tenant != "org/team/q" || !got.Replay {
+		t.Fatalf("round trip lost resilience fields: %+v", got)
+	}
+}
+
+func TestPingPongRoundTrip(t *testing.T) {
+	for _, typ := range []MsgType{MsgPing, MsgPong} {
+		m := Message{Type: typ, Seq: 7}
+		data, err := m.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != typ || got.Seq != 7 {
+			t.Fatalf("%s round trip: %+v", typ, got)
+		}
+	}
+}
+
+func TestZeroResilienceFieldsOmitted(t *testing.T) {
+	// Frames from pre-resilience peers must stay byte-compatible: the new
+	// fields are omitempty and absent fields decode to their zero values.
+	m := Message{Type: MsgRequest, Seq: 1}
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{"idem", "resume", "tenant", "replay"} {
+		if strings.Contains(string(data), banned) {
+			t.Fatalf("zero-valued %q serialized: %s", banned, data)
+		}
 	}
 }
